@@ -1,0 +1,253 @@
+// Package bomw ("Best Of Many Worlds") is a Go reproduction of
+// Vasiliadis, Tsirbas and Ioannidis, "The Best of Many Worlds: Scheduling
+// Machine Learning Inference on CPU-GPU Integrated Architectures"
+// (IPDPS Workshops / HCW 2022).
+//
+// The library provides:
+//
+//   - FFNN and CNN inference engines with the paper's five workload
+//     models (Simple/Iris, Mnist-Small, Mnist-Deep, Mnist-CNN, Cifar-10)
+//     and the sixteen data-augmentation architectures of §V-B;
+//   - calibrated analytical models of the paper's three processors
+//     (i7-8700 CPU, UHD Graphics 630 iGPU, GTX 1080 Ti dGPU) behind a
+//     simulated OpenCL runtime, including the PCIe transfer model and
+//     the GPU Boost clock state machine;
+//   - power instrumentation in the style of nvidia-smi and Intel PCM;
+//   - the performance-characterisation sweeps of Figs. 3-4 and the
+//     ≈1500-sample scheduler training dataset;
+//   - six from-scratch device-selection classifiers (random forest,
+//     decision tree, k-NN, linear regression, SVM, MLP) with stratified
+//     nested cross-validation (Tables I-III);
+//   - and the paper's primary contribution: an online, adaptive,
+//     device-agnostic scheduler with best-throughput, lowest-latency and
+//     energy-efficiency policies (Fig. 5, Fig. 6).
+//
+// Quick start:
+//
+//	sched, err := bomw.NewScheduler(bomw.Config{TrainModels: bomw.AllModels()})
+//	if err != nil { ... }
+//	err = sched.LoadModel(bomw.MnistSmall(), 1)
+//	res, dec, err := sched.Classify("mnist-small", batch, bomw.BestThroughput, 0)
+//
+// All execution is charged in deterministic virtual time by the device
+// models, so every figure and table of the paper regenerates bit-for-bit
+// on any machine; see EXPERIMENTS.md.
+package bomw
+
+import (
+	"bomw/internal/characterize"
+	"bomw/internal/core"
+	"bomw/internal/device"
+	"bomw/internal/mlsched"
+	"bomw/internal/models"
+	"bomw/internal/nn"
+	"bomw/internal/opencl"
+	"bomw/internal/tensor"
+	"bomw/internal/trace"
+)
+
+// Version is the library release.
+const Version = "1.0.0"
+
+// Scheduling policies (Fig. 5).
+type Policy = core.Policy
+
+// Policy values.
+const (
+	BestThroughput   = core.BestThroughput
+	LowestLatency    = core.LowestLatency
+	EnergyEfficiency = core.EnergyEfficiency
+)
+
+// Scheduler is the online adaptive scheduler (§V).
+type Scheduler = core.Scheduler
+
+// Config parameterises scheduler construction.
+type Config = core.Config
+
+// Decision is one scheduling choice.
+type Decision = core.Decision
+
+// NewScheduler characterises the devices, trains the per-policy
+// classifiers and returns a ready scheduler.
+func NewScheduler(cfg Config) (*Scheduler, error) { return core.New(cfg) }
+
+// LoadScheduler restores a scheduler from state previously written with
+// Scheduler.SaveState, skipping the offline characterisation and
+// training phase.
+var LoadScheduler = core.LoadState
+
+// Model architecture types.
+type (
+	// Spec declares a network architecture (§III-B).
+	Spec = nn.Spec
+	// Network is a built, executable model.
+	Network = nn.Network
+	// Descriptor is the scheduler's architecture feature view (§V-B).
+	Descriptor = nn.Descriptor
+)
+
+// Model kinds.
+const (
+	FFNN = nn.FFNN
+	CNN  = nn.CNN
+)
+
+// Activation functions for Spec.Act.
+const (
+	Identity = tensor.Identity
+	ReLU     = tensor.ReLU
+	Tanh     = tensor.Tanh
+	Sigmoid  = tensor.Sigmoid
+)
+
+// Tensor is the dense float32 array type batches are carried in.
+type Tensor = tensor.Tensor
+
+// NewTensor allocates a zero tensor.
+func NewTensor(shape ...int) *Tensor { return tensor.New(shape...) }
+
+// TensorFromSlice wraps data in a tensor.
+func TensorFromSlice(data []float32, shape ...int) *Tensor {
+	return tensor.FromSlice(data, shape...)
+}
+
+// The paper's model zoo (§III-B, §V-B).
+var (
+	Simple             = models.Simple
+	MnistSmall         = models.MnistSmall
+	MnistDeep          = models.MnistDeep
+	MnistCNN           = models.MnistCNN
+	Cifar10            = models.Cifar10
+	PaperModels        = models.PaperModels
+	AugmentationModels = models.AugmentationModels
+	AllModels          = models.AllModels
+	UnseenModels       = models.UnseenModels
+	ModelByName        = models.ByName
+)
+
+// Dataset is a labelled synthetic sample batch.
+type Dataset = models.Dataset
+
+// Synthesize generates deterministic synthetic samples for a model.
+func Synthesize(spec *Spec, n int, seed int64) *Dataset { return models.Synthesize(spec, n, seed) }
+
+// Device simulation.
+type (
+	// Device is one simulated processor.
+	Device = device.Device
+	// DeviceProfile holds a device's calibration constants.
+	DeviceProfile = device.Profile
+	// DeviceReport describes one simulated execution.
+	DeviceReport = device.Report
+)
+
+// The paper's hardware platform (§III-A).
+var (
+	IntelCoreI7_8700 = device.IntelCoreI7_8700
+	IntelUHD630      = device.IntelUHD630
+	NvidiaGTX1080Ti  = device.NvidiaGTX1080Ti
+	DefaultProfiles  = device.DefaultProfiles
+	NewDevice        = device.New
+)
+
+// Runtime is the simulated OpenCL runtime (§IV).
+type Runtime = opencl.Runtime
+
+// NewRuntime discovers platforms over simulated devices.
+func NewRuntime(devices ...*Device) (*Runtime, error) { return opencl.NewRuntime(devices...) }
+
+// Characterisation (Figs. 3-4) and dataset building (§V-B).
+type (
+	// Sweeper runs characterisation sweeps.
+	Sweeper = characterize.Sweeper
+	// SweepPoint is one measurement.
+	SweepPoint = characterize.Point
+	// LabeledSet is the scheduler training corpus.
+	LabeledSet = characterize.LabeledSet
+)
+
+// NewSweeper builds a sweeper over the paper's devices.
+var (
+	NewSweeper   = characterize.NewSweeper
+	PaperBatches = characterize.PaperBatches
+)
+
+// Classifiers (Table II).
+type Classifier = mlsched.Classifier
+
+// Classifier constructors.
+var (
+	NewRandomForest     = mlsched.NewTunedForest
+	NewDecisionTree     = func() Classifier { return mlsched.NewTree(mlsched.DefaultTreeConfig()) }
+	NewKNN              = func(k int) Classifier { return mlsched.NewKNN(k) }
+	NewLinearRegression = func() Classifier { return mlsched.NewLinearRegression() }
+	NewSVM              = func(seed int64) Classifier { return mlsched.NewSVM(seed) }
+	NewMLP              = func(seed int64) Classifier { return mlsched.NewMLP(seed) }
+)
+
+// Workload traces (§I dynamic fluctuations).
+type (
+	// Trace is a stream of classification requests.
+	Trace = trace.Trace
+	// Request is one arriving job.
+	Request = trace.Request
+)
+
+// Trace generators.
+var (
+	PoissonTrace = trace.Poisson
+	BurstTrace   = trace.Burst
+	DiurnalTrace = trace.Diurnal
+	SweepTrace   = trace.Sweep
+)
+
+// FFNNTrainer fits dense networks by mini-batch SGD (§III-B training).
+type FFNNTrainer = nn.Trainer
+
+// Model optimisations — the orthogonal, per-device techniques of the
+// paper's §VII related work (sparsification, reduced precision).
+var (
+	// PruneNetwork zeroes the smallest-magnitude fraction of dense
+	// weights in place.
+	PruneNetwork = nn.Prune
+	// SparsifyNetwork rebuilds a pruned network with CSR execution.
+	SparsifyNetwork = nn.SparsifyNetwork
+	// HalveNetwork rebuilds a network with fp16 weight storage.
+	HalveNetwork = nn.HalveNetwork
+	// NetworkAccuracy scores a network against labels.
+	NetworkAccuracy = nn.Accuracy
+)
+
+// DefaultPool is the host execution pool sized to this machine.
+var DefaultPool = tensor.Default
+
+// Batcher aggregates arriving requests into dispatch batches (batch size
+// is the paper's decisive scheduling variable, §IV-C).
+type Batcher = core.Batcher
+
+// MixedRequest tags a request with its application's policy for
+// multi-tenant replays.
+type MixedRequest = core.MixedRequest
+
+// MixTrace tags each request of a trace with a per-model policy.
+var MixTrace = core.MixTrace
+
+// DeadlineDecision is the outcome of an SLO-constrained selection.
+type DeadlineDecision = core.DeadlineDecision
+
+// ReplayResult aggregates a trace replay.
+type ReplayResult = core.ReplayResult
+
+// Trace analysis.
+var (
+	// SummarizeTrace computes request/batch/burstiness statistics.
+	SummarizeTrace = trace.Summarize
+	// TraceRateOver profiles request rate over fixed windows.
+	TraceRateOver = trace.RateOver
+	// ReadTraceJSON parses a trace persisted with Trace.WriteJSON.
+	ReadTraceJSON = trace.ReadJSON
+)
+
+// ParseSpecJSON decodes and validates one architecture document.
+var ParseSpecJSON = nn.ParseSpecJSON

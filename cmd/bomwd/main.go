@@ -1,0 +1,180 @@
+// Command bomwd runs the online scheduler as a simulated inference
+// service: a request trace (Poisson, burst or diurnal) streams through
+// the scheduler under a chosen policy, and the daemon reports live
+// decisions and periodic aggregate statistics — the operational view of
+// Fig. 5.
+//
+// Usage:
+//
+//	bomwd -trace burst -policy lowest-latency -n 500
+//	bomwd -trace diurnal -policy energy-efficiency -v
+//	bomwd -save sched.state            # persist the trained scheduler
+//	bomwd -load sched.state -n 1000    # restart instantly from state
+//	bomwd -interfere                   # inject dGPU contention mid-trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bomw/internal/core"
+	"bomw/internal/device"
+	"bomw/internal/models"
+	"bomw/internal/trace"
+)
+
+func main() {
+	traceKind := flag.String("trace", "poisson", "workload: poisson, burst, diurnal")
+	policyName := flag.String("policy", "best-throughput", "policy: best-throughput, lowest-latency, energy-efficiency")
+	n := flag.Int("n", 300, "number of requests")
+	rate := flag.Float64("rate", 100, "mean request rate (requests/second)")
+	seed := flag.Int64("seed", 1, "random seed")
+	verbose := flag.Bool("v", false, "log every decision")
+	savePath := flag.String("save", "", "save the trained scheduler state to this file and exit")
+	loadPath := flag.String("load", "", "load scheduler state instead of training")
+	interfere := flag.Bool("interfere", false, "inject 6x external contention on the dGPU at the trace midpoint")
+	flag.Parse()
+
+	var pol core.Policy
+	switch *policyName {
+	case "best-throughput":
+		pol = core.BestThroughput
+	case "lowest-latency":
+		pol = core.LowestLatency
+	case "energy-efficiency":
+		pol = core.EnergyEfficiency
+	default:
+		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policyName)
+		os.Exit(1)
+	}
+
+	var devices []*device.Device
+	for _, p := range device.DefaultProfiles() {
+		devices = append(devices, device.New(p))
+	}
+	var sched *core.Scheduler
+	var err error
+	if *loadPath != "" {
+		fmt.Printf("bomwd: loading scheduler state from %s…\n", *loadPath)
+		f, err2 := os.Open(*loadPath)
+		if err2 != nil {
+			fmt.Fprintln(os.Stderr, err2)
+			os.Exit(1)
+		}
+		sched, err = core.LoadState(core.Config{Devices: devices, Seed: *seed}, f)
+		f.Close()
+	} else {
+		fmt.Println("bomwd: characterising devices and training the scheduler…")
+		sched, err = core.New(core.Config{Devices: devices, TrainModels: models.AllModels(), Seed: *seed})
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *savePath != "" {
+		f, err := os.Create(*savePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := sched.SaveState(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("bomwd: scheduler state saved to %s\n", *savePath)
+		return
+	}
+	names := []string{"simple", "mnist-small", "mnist-cnn"}
+	for _, name := range names {
+		spec, err := models.ByName(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := sched.LoadModel(spec, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	var tr trace.Trace
+	switch *traceKind {
+	case "poisson":
+		tr, err = trace.Poisson(*n, *rate, names, []int{2, 32, 512, 8192, 65536}, *seed)
+	case "burst":
+		tr, err = trace.Burst(*n, *rate/10, *rate, 2*time.Second, 400*time.Millisecond,
+			names, []int{2, 32}, []int{8192, 65536}, *seed)
+	case "diurnal":
+		tr, err = trace.Diurnal(*n, *rate/10, *rate, 5*time.Second, names, []int{2, 32, 512, 8192}, *seed)
+	default:
+		err = fmt.Errorf("unknown trace kind %q", *traceKind)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("bomwd: serving %d requests (%s trace, %s policy) over %v of virtual time\n",
+		len(tr), *traceKind, pol, tr.Duration().Round(time.Millisecond))
+
+	var (
+		totalEnergy float64
+		sumLatency  time.Duration
+		served      int
+		lastReport  time.Duration
+		interfered  bool
+	)
+	midpoint := tr.Duration() / 2
+	for _, req := range tr {
+		if *interfere && !interfered && req.At >= midpoint {
+			interfered = true
+			for _, d := range devices {
+				if d.Profile().HasBoost {
+					d.SetSlowdown(6)
+					fmt.Printf("t=%-12v !! external tenant grabs %s (6x slowdown)\n",
+						req.At.Round(time.Millisecond), d.Name())
+				}
+			}
+		}
+		res, dec, err := sched.Estimate(req.Model, req.Batch, pol, req.At)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := sched.Observe(dec, res); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		served++
+		totalEnergy += res.EnergyJ
+		sumLatency += res.Latency()
+		if *verbose {
+			spill := ""
+			if dec.Spilled {
+				spill = " [spilled]"
+			}
+			fmt.Printf("t=%-12v %-12s batch=%-6d → %-16s lat=%-12v E=%.3gJ%s\n",
+				req.At.Round(time.Microsecond), req.Model, req.Batch,
+				dec.Device, res.Latency().Round(time.Microsecond), res.EnergyJ, spill)
+		}
+		if req.At-lastReport >= time.Second {
+			lastReport = req.At
+			st := sched.Stats()
+			fmt.Printf("t=%-12v served=%-5d avg-latency=%-12v energy=%.1fJ spills=%d devices=%v\n",
+				req.At.Round(time.Millisecond), served,
+				(sumLatency / time.Duration(served)).Round(time.Microsecond),
+				totalEnergy, st.Spills, st.PerDevice)
+		}
+	}
+
+	st := sched.Stats()
+	fmt.Println("\nbomwd: trace complete")
+	fmt.Printf("  requests:     %d\n", served)
+	fmt.Printf("  avg latency:  %v\n", (sumLatency / time.Duration(served)).Round(time.Microsecond))
+	fmt.Printf("  total energy: %.1f J\n", totalEnergy)
+	fmt.Printf("  spills:       %d\n", st.Spills)
+	fmt.Printf("  decisions:    %v\n", st.PerDevice)
+}

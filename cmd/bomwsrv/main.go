@@ -1,0 +1,62 @@
+// Command bomwsrv serves the adaptive scheduler over HTTP — the
+// production face of the paper's system. It trains (or loads) the
+// scheduler, pre-loads the paper's workload models, and listens for
+// classification requests.
+//
+// Usage:
+//
+//	bomwsrv -addr :8080
+//	bomwsrv -addr :8080 -load sched.state
+//
+//	curl -s localhost:8080/v1/devices
+//	curl -s -X POST localhost:8080/v1/classify \
+//	  -d '{"model":"simple","policy":"lowest-latency","samples":[[5.1,3.5,1.4,0.2]]}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"bomw/internal/core"
+	"bomw/internal/models"
+	"bomw/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	loadPath := flag.String("load", "", "load scheduler state instead of training")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	var sched *core.Scheduler
+	var err error
+	if *loadPath != "" {
+		f, err2 := os.Open(*loadPath)
+		if err2 != nil {
+			fmt.Fprintln(os.Stderr, err2)
+			os.Exit(1)
+		}
+		sched, err = core.LoadState(core.Config{Seed: *seed}, f)
+		f.Close()
+	} else {
+		fmt.Println("bomwsrv: characterising devices and training the scheduler…")
+		sched, err = core.New(core.Config{TrainModels: models.AllModels(), Seed: *seed})
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, spec := range models.PaperModels() {
+		if err := sched.LoadModel(spec, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("bomwsrv: %d models loaded, serving on %s\n", len(models.PaperModels()), *addr)
+	if err := http.ListenAndServe(*addr, server.New(sched, *seed)); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

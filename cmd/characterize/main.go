@@ -1,0 +1,112 @@
+// Command characterize regenerates the paper's performance
+// characterisation: Fig. 3 (throughput, power and latency per model,
+// device, batch size and GPU start state) and Fig. 4 (Joules per batch).
+//
+// Usage:
+//
+//	characterize            # both figures, all five paper models
+//	characterize -fig 3     # throughput/power/latency only
+//	characterize -fig 4     # energy only
+//	characterize -models simple,cifar-10
+//	characterize -csv       # machine-readable output
+//	characterize -plot      # log-log ASCII charts of the figure curves
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bomw/internal/asciiplot"
+	"bomw/internal/characterize"
+	"bomw/internal/models"
+	"bomw/internal/nn"
+	"bomw/internal/report"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to regenerate: 3, 4, or 0 for both")
+	modelList := flag.String("models", "", "comma-separated model names (default: the five paper models)")
+	csv := flag.Bool("csv", false, "emit CSV instead of tables")
+	plot := flag.Bool("plot", false, "render log-log ASCII charts instead of tables")
+	flag.Parse()
+
+	specs := models.PaperModels()
+	if *modelList != "" {
+		specs = nil
+		for _, name := range strings.Split(*modelList, ",") {
+			s, err := models.ByName(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			specs = append(specs, s)
+		}
+	}
+
+	sw := characterize.NewSweeper()
+	pts, err := sw.Sweep(specs, characterize.PaperBatches())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	switch {
+	case *csv:
+		fmt.Print(report.CSV(pts))
+	case *plot:
+		emitPlots(specs, pts, *fig)
+	default:
+		if *fig == 0 || *fig == 3 {
+			fmt.Println("== Figure 3: throughput (Gbit/s), power (W) and latency per model ==")
+			for _, spec := range specs {
+				fmt.Println()
+				fmt.Print(report.Fig3Table(report.Collect(pts, spec.Name)))
+			}
+		}
+		if *fig == 0 || *fig == 4 {
+			fmt.Println("\n== Figure 4: Joules per classification batch ==")
+			for _, spec := range specs {
+				fmt.Println()
+				fmt.Print(report.Fig4Table(report.Collect(pts, spec.Name)))
+			}
+		}
+	}
+}
+
+// emitPlots renders the figure curves as log-log ASCII charts.
+func emitPlots(specs []*nn.Spec, pts []characterize.Point, fig int) {
+	for _, spec := range specs {
+		v := report.Collect(pts, spec.Name)
+		mk := func(metric func(characterize.Point) float64) []asciiplot.Series {
+			var out []asciiplot.Series
+			for _, c := range v.Configs {
+				s := asciiplot.Series{Name: c}
+				for _, b := range v.Batches {
+					s.X = append(s.X, float64(b))
+					s.Y = append(s.Y, metric(v.ByConfig[c][b]))
+				}
+				out = append(out, s)
+			}
+			return out
+		}
+		render := func(title, ylabel string, metric func(characterize.Point) float64) {
+			chart := asciiplot.Chart{Title: title, LogX: true, LogY: true, XLabel: "samples", YLabel: ylabel}
+			out, err := chart.Render(mk(metric))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Println(out)
+		}
+		if fig == 0 || fig == 3 {
+			render(fmt.Sprintf("Fig. 3 — %s: sustained throughput", spec.Name), "Gbit/s",
+				func(p characterize.Point) float64 { return p.ThroughputGbps })
+		}
+		if fig == 0 || fig == 4 {
+			render(fmt.Sprintf("Fig. 4 — %s: Joules per batch", spec.Name), "J",
+				func(p characterize.Point) float64 { return p.EnergyJ })
+		}
+	}
+}

@@ -1,0 +1,59 @@
+// Command dataset builds the scheduler's training corpus (§V-B) — the
+// ≈1500 labelled measurements over the 21 architectures — and emits it as
+// CSV for inspection, versioning or external tooling.
+//
+// Usage:
+//
+//	dataset > train.csv
+//	dataset -reps 4 -noise 0.2 -o train.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bomw/internal/characterize"
+	"bomw/internal/models"
+)
+
+func main() {
+	reps := flag.Int("reps", 2, "noisy measurement replicas per configuration")
+	noise := flag.Float64("noise", 0.12, "relative measurement noise (stddev)")
+	seed := flag.Int64("seed", 1, "random seed")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	sw := characterize.NewSweeper()
+	sw.Noise = *noise
+	sw.Seed = *seed
+	set, err := sw.BuildDataset(models.AllModels(), characterize.PaperBatches(), *reps)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := set.WriteCSV(w); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "dataset: %d samples, %d features, devices %v\n",
+		set.Len(), len(set.FeatureNames), set.Devices)
+	for _, o := range characterize.Objectives() {
+		fmt.Fprintf(os.Stderr, "  %s shares: ", o)
+		for i, s := range set.ClassShares(o) {
+			fmt.Fprintf(os.Stderr, "%s=%.0f%% ", set.Devices[i], 100*s)
+		}
+		fmt.Fprintln(os.Stderr)
+	}
+}

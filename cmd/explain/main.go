@@ -1,0 +1,69 @@
+// Command explain audits one scheduling configuration: for a model,
+// batch size and GPU state it prints each device's cost-model breakdown
+// (transfer / launch / dispatch / roofline, which side of the roofline
+// binds, achieved utilisation) and the device a trained scheduler would
+// pick under every policy — "why did it choose that?" in one screen.
+//
+// Usage:
+//
+//	explain -model cifar-10 -batch 8
+//	explain -model mnist-small -batch 65536 -warm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bomw/internal/characterize"
+	"bomw/internal/core"
+	"bomw/internal/device"
+	"bomw/internal/models"
+)
+
+func main() {
+	modelName := flag.String("model", "mnist-small", "model to audit")
+	batch := flag.Int("batch", 4096, "batch size")
+	warm := flag.Bool("warm", false, "assume a warmed-up discrete GPU")
+	flag.Parse()
+
+	spec, err := models.ByName(*modelName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	net, err := spec.Build(1)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	w := device.WorkloadOf(net)
+	fmt.Printf("workload %s: %d flops/sample, %d B/sample, %d weights B, %d kernels\n\n",
+		spec.Name, w.FlopsPerSample, w.SampleBytes, w.WeightBytes, w.Kernels)
+
+	best, bestLat := "", 0.0
+	for _, p := range device.DefaultProfiles() {
+		b := device.Explain(p, w, *batch, *warm && p.HasBoost)
+		fmt.Println(b)
+		if best == "" || b.TotalLatency.Seconds() < bestLat {
+			best, bestLat = p.Name, b.TotalLatency.Seconds()
+		}
+	}
+	fmt.Printf("fastest by the cost model: %s\n\n", best)
+
+	fmt.Println("training the scheduler for the learned view…")
+	sched, err := core.New(core.Config{TrainModels: models.AllModels()})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := sched.LoadModel(spec, 1); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	feats := characterize.Features(spec.Descriptor(), *batch, *warm)
+	for _, pol := range []core.Policy{core.BestThroughput, core.LowestLatency, core.EnergyEfficiency} {
+		class := sched.Classifier(pol).Predict(feats)
+		fmt.Printf("scheduler pick under %-18s → %s\n", pol, sched.Devices()[class])
+	}
+}

@@ -1,0 +1,163 @@
+// Command schedtrain trains and evaluates the scheduler's device-selection
+// models, regenerating:
+//
+//   - Table II — accuracy, training time and classification time for the
+//     random baseline, linear regression, SVM, k-NN, FFNN, random forest
+//     and decision tree;
+//   - Table III — F1, precision and recall of the random forest;
+//   - Table I — the random-forest hyperparameter grid, exercised through
+//     stratified nested cross-validation (-grid; -full for all 1344
+//     points).
+//
+// The training corpus is the ≈1500-sample characterisation dataset of
+// §V-B (21 architectures × batch sizes × GPU states × noisy replicas).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bomw/internal/characterize"
+	"bomw/internal/mlsched"
+	"bomw/internal/models"
+)
+
+func main() {
+	policy := flag.String("policy", "best-throughput", "policy whose labels to train on: best-throughput, lowest-latency, energy-efficiency")
+	grid := flag.Bool("grid", false, "run the Table I nested-CV grid search (reduced grid)")
+	full := flag.Bool("full", false, "with -grid: the full 1344-point Table I grid")
+	folds := flag.Int("folds", 5, "outer cross-validation folds")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	var objective characterize.Objective
+	switch *policy {
+	case "best-throughput":
+		objective = characterize.BestThroughput
+	case "lowest-latency":
+		objective = characterize.LowestLatency
+	case "energy-efficiency":
+		objective = characterize.EnergyEfficiency
+	default:
+		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policy)
+		os.Exit(1)
+	}
+
+	sw := characterize.NewSweeper()
+	sw.Noise = 0.12
+	sw.Seed = *seed
+	fmt.Println("building the characterisation dataset (§V-B)…")
+	t0 := time.Now()
+	set, err := sw.BuildDataset(models.AllModels(), characterize.PaperBatches(), 2)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("dataset: %d samples, %d features, %d device classes (%.1fs)\n",
+		set.Len(), len(set.FeatureNames), len(set.Devices), time.Since(t0).Seconds())
+	shares := set.ClassShares(objective)
+	fmt.Printf("class shares under %s:", objective)
+	for i, s := range shares {
+		fmt.Printf(" %s=%.0f%%", set.Devices[i], 100*s)
+	}
+	fmt.Println()
+
+	X, y := set.X, set.Y[objective]
+
+	if *grid {
+		runGrid(X, y, *folds, *full, *seed)
+		return
+	}
+
+	// ---- Table II ----
+	fmt.Printf("\n== Table II: scheduler performance for different ML models (policy: %s) ==\n", objective)
+	fmt.Printf("%-30s %10s %14s %18s\n", "Model", "Accuracy", "TrainingTime", "ClassificationTime")
+	type row struct {
+		name  string
+		build mlsched.Builder
+	}
+	rows := []row{
+		{"Baseline (Random Selection)", func() mlsched.Classifier { return mlsched.NewRandom(*seed) }},
+		{"Linear Regression", func() mlsched.Classifier { return mlsched.NewLinearRegression() }},
+		{"SVM", func() mlsched.Classifier { return mlsched.NewSVM(*seed) }},
+		{"k-NN", func() mlsched.Classifier { return mlsched.NewKNN(5) }},
+		{"Feed Forward Neural Network", func() mlsched.Classifier { return mlsched.NewMLP(*seed) }},
+		{"Random Forest", func() mlsched.Classifier { return mlsched.NewTunedForest(*seed) }},
+		{"Decision Tree", func() mlsched.Classifier { return mlsched.NewTree(mlsched.DefaultTreeConfig()) }},
+	}
+	var forestMetrics mlsched.Metrics
+	for _, r := range rows {
+		m, err := mlsched.CrossValidate(r.build, X, y, *folds, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if r.name == "Random Forest" {
+			forestMetrics = m
+		}
+		// Time a single fit and a single prediction on the full set.
+		c := r.build()
+		tTrain := time.Now()
+		if err := c.Fit(X, y); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		trainTime := time.Since(tTrain)
+		tClass := time.Now()
+		const probes = 200
+		for i := 0; i < probes; i++ {
+			c.Predict(X[i%len(X)])
+		}
+		classTime := time.Since(tClass) / probes
+		fmt.Printf("%-30s %9.2f%% %14s %18s\n", r.name, 100*m.Accuracy,
+			trainTime.Round(time.Millisecond), classTime.Round(time.Microsecond))
+	}
+
+	// ---- Table III ----
+	fmt.Println("\n== Table III: Random Forest scheduler efficiency ==")
+	fmt.Printf("%10s %10s %10s\n", "F1-score", "Precision", "Recall")
+	fmt.Printf("%9.2f%% %9.2f%% %9.2f%%\n",
+		100*forestMetrics.F1, 100*forestMetrics.Precision, 100*forestMetrics.Recall)
+
+	// ---- Feature importance (§V-B) ----
+	forest := mlsched.NewTunedForest(*seed)
+	if err := forest.Fit(X, y); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("\n== Feature importance (§V-B: batch size and GPU state dominate) ==")
+	for i, imp := range forest.FeatureImportance() {
+		fmt.Printf("  %-18s %5.1f%%\n", set.FeatureNames[i], 100*imp)
+	}
+}
+
+func runGrid(X [][]float64, y []int, folds int, full bool, seed int64) {
+	grid := mlsched.PaperForestGrid()
+	if !full {
+		// A representative sub-grid keeps the demo minutes-scale while
+		// covering every Table I axis.
+		grid = mlsched.ForestGrid{
+			NEstimators:    []int{5, 25, 50, 200},
+			MaxDepth:       []int{3, 6, 10},
+			Criteria:       []mlsched.Criterion{mlsched.Entropy, mlsched.Gini},
+			MinSamplesLeaf: []int{1, 5, 15},
+		}
+	}
+	fmt.Printf("\n== Table I: nested cross-validation over the Random Forest grid (%d points) ==\n", grid.Size())
+	t0 := time.Now()
+	res, err := mlsched.NestedCrossValidate(X, y, folds, 3, grid, seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("outer generalisation: %s\n", res.Outer)
+	fmt.Printf("selected hyperparameters: n_estimators=%d max_depth=%d criterion=%s min_samples_leaf=%d\n",
+		res.BestConfig.NEstimators, res.BestConfig.MaxDepth, res.BestConfig.Criterion, res.BestConfig.MinSamplesLeaf)
+	fmt.Printf("per-fold winners:\n")
+	for f, c := range res.PerFoldBest {
+		fmt.Printf("  fold %d: n=%d depth=%d %s leaf=%d\n", f, c.NEstimators, c.MaxDepth, c.Criterion, c.MinSamplesLeaf)
+	}
+	fmt.Printf("total nested-CV time: %s (paper: ≈26 s with parallel folds)\n", time.Since(t0).Round(time.Second))
+}

@@ -1,0 +1,71 @@
+// Model optimisation: pruning and fp16 through the device models.
+//
+// The paper's related work (§VII) treats sparsification and reduced
+// precision as orthogonal, per-device optimisations that its scheduler
+// can adopt. This example demonstrates the full loop: train Mnist-Small,
+// prune 60% of its weights and alternatively store them in fp16, verify
+// the classifications barely move, and show how the smaller FLOP/byte
+// footprint changes what the simulated devices charge.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bomw"
+)
+
+func main() {
+	spec := &bomw.Spec{
+		Name:       "sensor-ffnn",
+		Kind:       bomw.FFNN,
+		InputShape: []int{64},
+		Hidden:     []int{256, 128},
+		Classes:    10,
+		Act:        bomw.ReLU,
+	}
+	net := spec.MustBuild(1)
+	data := bomw.Synthesize(spec, 600, 42)
+	if err := (&bomw.FFNNTrainer{Epochs: 40, LR: 0.05, Batch: 32, Seed: 1}).Train(net, data.X, data.Y); err != nil {
+		log.Fatal(err)
+	}
+	base := bomw.NetworkAccuracy(net, bomw.DefaultPool, data.X, data.Y)
+
+	stats, err := bomw.PruneNetwork(net, 0.6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sparse := bomw.SparsifyNetwork(net)
+	half := bomw.HalveNetwork(net)
+
+	fmt.Printf("model: %s\n", spec.Name)
+	fmt.Printf("  accuracy          dense=%.2f  pruned+sparse=%.2f  fp16=%.2f\n",
+		base,
+		bomw.NetworkAccuracy(sparse, bomw.DefaultPool, data.X, data.Y),
+		bomw.NetworkAccuracy(half, bomw.DefaultPool, data.X, data.Y))
+	fmt.Printf("  flops/sample      dense=%d  sparse=%d (%.0f%% saved)\n",
+		stats.FlopsBefore, sparse.FlopsPerSample(),
+		100*(1-float64(sparse.FlopsPerSample())/float64(stats.FlopsBefore)))
+	fmt.Printf("  weight bytes      dense=%d  sparse=%d  fp16=%d\n",
+		net.ParamBytes(), sparse.ParamBytes(), half.ParamBytes())
+
+	// Charge all three variants on the simulated CPU: less work and less
+	// traffic mean faster, cheaper batches.
+	fmt.Println("\nsimulated i7-8700 CPU, batch 4096:")
+	for _, variant := range []*bomw.Network{net, sparse, half} {
+		dev := bomw.NewDevice(bomw.IntelCoreI7_8700())
+		rt, err := bomw.NewRuntime(dev)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rt.LoadModel(variant); err != nil {
+			log.Fatal(err)
+		}
+		res, err := rt.Estimate(dev.Name(), variant.Name(), 4096, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-22s latency=%-14v energy=%.3fJ\n",
+			variant.Name(), res.Latency().Round(0), res.EnergyJ)
+	}
+}

@@ -1,0 +1,44 @@
+// Quickstart: build the scheduler, load a model, classify a batch.
+//
+// This is the smallest end-to-end bomw program: it trains the scheduler
+// on the paper's measured architectures, loads Mnist-Small, then asks for
+// the best device under each of the three policies and runs a real
+// classification batch on the chosen device.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bomw"
+)
+
+func main() {
+	// Offline phase: characterise the devices and train the selector
+	// (the paper's Fig. 2 training hand-off plus §V-C model training).
+	sched, err := bomw.NewScheduler(bomw.Config{TrainModels: bomw.AllModels()})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Load a workload model through the dispatcher.
+	if err := sched.LoadModel(bomw.MnistSmall(), 1); err != nil {
+		log.Fatal(err)
+	}
+
+	// Generate a synthetic MNIST-shaped batch and classify it.
+	data := bomw.Synthesize(bomw.MnistSmall(), 64, 42)
+	batch := data.Batch(0, 64)
+
+	for _, pol := range []bomw.Policy{bomw.BestThroughput, bomw.LowestLatency, bomw.EnergyEfficiency} {
+		res, dec, err := sched.Classify("mnist-small", batch.Clone(), pol, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s → %-16s latency=%-12v energy=%.3gJ first-classes=%v\n",
+			pol, dec.Device, res.Latency().Round(0), res.EnergyJ, res.Classes[:5])
+	}
+
+	st := sched.Stats()
+	fmt.Printf("\nscheduler made %d decisions across %v\n", st.Decisions, st.PerDevice)
+}

@@ -1,0 +1,3 @@
+module bomw
+
+go 1.22

@@ -1,0 +1,147 @@
+// Package asciiplot renders multi-series line charts as terminal text, so
+// cmd/characterize can draw the shapes of Figs. 3-4 without any plotting
+// dependency. Axes may be logarithmic, matching the paper's log-log
+// presentation.
+package asciiplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Chart configures a render.
+type Chart struct {
+	Title  string
+	Width  int // plot columns (default 72)
+	Height int // plot rows (default 18)
+	LogX   bool
+	LogY   bool
+	YLabel string
+	XLabel string
+}
+
+// markers assigns one glyph per series, cycling when exhausted.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '~'}
+
+// Render draws the series into a text chart.
+func (c Chart) Render(series []Series) (string, error) {
+	if len(series) == 0 {
+		return "", fmt.Errorf("asciiplot: no series")
+	}
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 72
+	}
+	if h <= 0 {
+		h = 18
+	}
+
+	tx := func(v float64) float64 { return v }
+	ty := func(v float64) float64 { return v }
+	if c.LogX {
+		tx = math.Log10
+	}
+	if c.LogY {
+		ty = math.Log10
+	}
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("asciiplot: series %q has %d x but %d y values", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if (c.LogX && x <= 0) || (c.LogY && y <= 0) {
+				continue // log axes skip non-positive points
+			}
+			x, y = tx(x), ty(y)
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if minX > maxX || minY > maxY {
+		return "", fmt.Errorf("asciiplot: no plottable points")
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	for si, s := range series {
+		mark := markers[si%len(markers)]
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if (c.LogX && x <= 0) || (c.LogY && y <= 0) {
+				continue
+			}
+			col := int((tx(x) - minX) / (maxX - minX) * float64(w-1))
+			row := h - 1 - int((ty(y)-minY)/(maxY-minY)*float64(h-1))
+			grid[row][col] = mark
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	axisVal := func(v float64, log bool) float64 {
+		if log {
+			return math.Pow(10, v)
+		}
+		return v
+	}
+	topLabel := fmt.Sprintf("%.3g", axisVal(maxY, c.LogY))
+	botLabel := fmt.Sprintf("%.3g", axisVal(minY, c.LogY))
+	pad := len(topLabel)
+	if len(botLabel) > pad {
+		pad = len(botLabel)
+	}
+	for r, row := range grid {
+		label := strings.Repeat(" ", pad)
+		if r == 0 {
+			label = fmt.Sprintf("%*s", pad, topLabel)
+		}
+		if r == h-1 {
+			label = fmt.Sprintf("%*s", pad, botLabel)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", pad), strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%s  %-10.4g%s%10.4g", strings.Repeat(" ", pad),
+		axisVal(minX, c.LogX), strings.Repeat(" ", maxInt(1, w-20)), axisVal(maxX, c.LogX))
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, "  (%s)", c.XLabel)
+	}
+	b.WriteByte('\n')
+	// Legend.
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, "  y: %s\n", c.YLabel)
+	}
+	return b.String(), nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

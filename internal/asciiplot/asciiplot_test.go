@@ -1,0 +1,118 @@
+package asciiplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func twoSeries() []Series {
+	return []Series{
+		{Name: "cpu", X: []float64{1, 2, 4, 8}, Y: []float64{1, 2, 3, 4}},
+		{Name: "gpu", X: []float64{1, 2, 4, 8}, Y: []float64{4, 3, 2, 1}},
+	}
+}
+
+func TestRenderBasics(t *testing.T) {
+	out, err := Chart{Title: "demo", Width: 40, Height: 10, XLabel: "batch", YLabel: "Gbit/s"}.Render(twoSeries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"demo", "* cpu", "o gpu", "(batch)", "y: Gbit/s", "+---"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	plotLines := 0
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			plotLines++
+		}
+	}
+	if plotLines != 10 {
+		t.Fatalf("plot rows = %d, want 10", plotLines)
+	}
+}
+
+func TestRenderMarksExtremes(t *testing.T) {
+	out, err := Chart{Width: 20, Height: 5}.Render([]Series{
+		{Name: "s", X: []float64{0, 1}, Y: []float64{0, 10}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(out, "\n")
+	// Max value label on the top row, min on the bottom plot row.
+	if !strings.Contains(lines[0], "10") {
+		t.Fatalf("top label missing: %q", lines[0])
+	}
+	// The first plot row holds the max point's marker at the right edge.
+	if !strings.Contains(lines[0], "*") {
+		t.Fatalf("max marker missing from top row: %q", lines[0])
+	}
+}
+
+func TestRenderLogAxes(t *testing.T) {
+	s := []Series{{
+		Name: "pow",
+		X:    []float64{1, 10, 100, 1000},
+		Y:    []float64{1, 10, 100, 1000},
+	}}
+	out, err := Chart{Width: 31, Height: 11, LogX: true, LogY: true}.Render(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On log-log axes a power law is a straight diagonal: markers appear
+	// on distinct rows AND distinct columns.
+	rows := map[int]bool{}
+	for i, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "|") && strings.Contains(line, "*") {
+			rows[i] = true
+		}
+	}
+	if len(rows) != 4 {
+		t.Fatalf("log-log power law should hit 4 distinct rows, got %d:\n%s", len(rows), out)
+	}
+}
+
+func TestRenderSkipsNonPositiveOnLog(t *testing.T) {
+	s := []Series{{Name: "s", X: []float64{0, 1, 10}, Y: []float64{-5, 1, 10}}}
+	if _, err := (Chart{LogX: true, LogY: true}).Render(s); err != nil {
+		t.Fatalf("log render should skip non-positive points, got %v", err)
+	}
+	// All points non-positive → nothing plottable.
+	bad := []Series{{Name: "s", X: []float64{0}, Y: []float64{0}}}
+	if _, err := (Chart{LogX: true}).Render(bad); err == nil {
+		t.Fatal("unplottable series accepted")
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	if _, err := (Chart{}).Render(nil); err == nil {
+		t.Fatal("empty series accepted")
+	}
+	if _, err := (Chart{}).Render([]Series{{Name: "bad", X: []float64{1}, Y: []float64{1, 2}}}); err == nil {
+		t.Fatal("mismatched series accepted")
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	s := []Series{{Name: "flat", X: []float64{1, 2}, Y: []float64{5, 5}}}
+	if _, err := (Chart{}).Render(s); err != nil {
+		t.Fatalf("constant series should render: %v", err)
+	}
+}
+
+func TestMarkerCycling(t *testing.T) {
+	var many []Series
+	for i := 0; i < 10; i++ {
+		many = append(many, Series{Name: "s", X: []float64{1}, Y: []float64{float64(i + 1)}})
+	}
+	out, err := Chart{}.Render(many)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, string(markers[0])) {
+		t.Fatal("marker cycling broke legend")
+	}
+}

@@ -1,0 +1,266 @@
+package characterize
+
+import (
+	"testing"
+
+	"bomw/internal/device"
+	"bomw/internal/mlsched"
+	"bomw/internal/models"
+	"bomw/internal/nn"
+)
+
+func TestPaperBatches(t *testing.T) {
+	b := PaperBatches()
+	if len(b) != 18 || b[0] != 2 || b[len(b)-1] != 256*1024 {
+		t.Fatalf("batches = %v, want 2..256K powers of two", b)
+	}
+}
+
+func TestObjectiveNames(t *testing.T) {
+	names := map[Objective]string{
+		BestThroughput:   "best-throughput",
+		LowestLatency:    "lowest-latency",
+		EnergyEfficiency: "energy-efficiency",
+	}
+	for o, want := range names {
+		if o.String() != want {
+			t.Fatalf("%d.String() = %q", int(o), o.String())
+		}
+	}
+	if len(Objectives()) != 3 {
+		t.Fatal("three policies expected")
+	}
+}
+
+func TestFeaturesLayout(t *testing.T) {
+	desc := models.Cifar10().Descriptor()
+	f := Features(desc, 1024, true)
+	names := DatasetFeatureNames()
+	if len(f) != len(names) {
+		t.Fatalf("features %d, names %d", len(f), len(names))
+	}
+	if names[len(names)-2] != "log2_batch" || names[len(names)-1] != "gpu_warm" {
+		t.Fatalf("feature names = %v", names)
+	}
+	if f[len(f)-2] != 10 { // log2(1024)
+		t.Fatalf("log2_batch = %g, want 10", f[len(f)-2])
+	}
+	if f[len(f)-1] != 1 {
+		t.Fatal("gpu_warm should be 1")
+	}
+	if Features(desc, 1024, false)[len(f)-1] != 0 {
+		t.Fatal("gpu_warm should be 0")
+	}
+}
+
+func TestMeasureDeterministicWithoutNoise(t *testing.T) {
+	sw := NewSweeper()
+	a, err := sw.Measure(models.Simple(), device.IntelCoreI7_8700(), 64, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sw.Measure(models.Simple(), device.IntelCoreI7_8700(), 64, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("noise-free measurements differ:\n%+v\n%+v", a, b)
+	}
+	if a.Latency <= 0 || a.EnergyJ <= 0 || a.ThroughputGbps <= 0 || a.AvgPowerW <= 0 {
+		t.Fatalf("degenerate point: %+v", a)
+	}
+}
+
+func TestMeasureNoiseIsDeterministicPerRep(t *testing.T) {
+	sw := NewSweeper()
+	sw.Noise = 0.12
+	a, _ := sw.Measure(models.Simple(), device.IntelCoreI7_8700(), 64, false, 0)
+	b, _ := sw.Measure(models.Simple(), device.IntelCoreI7_8700(), 64, false, 0)
+	c, _ := sw.Measure(models.Simple(), device.IntelCoreI7_8700(), 64, false, 1)
+	if a != b {
+		t.Fatal("same rep should reproduce the same noisy measurement")
+	}
+	if a == c {
+		t.Fatal("different reps should draw different noise")
+	}
+}
+
+func TestMeasureWarmFasterThanIdleOnGPU(t *testing.T) {
+	sw := NewSweeper()
+	gpu := device.NvidiaGTX1080Ti()
+	idle, _ := sw.Measure(models.MnistSmall(), gpu, 512, false, 0)
+	warm, _ := sw.Measure(models.MnistSmall(), gpu, 512, true, 0)
+	if warm.Latency >= idle.Latency {
+		t.Fatalf("warm %v should beat idle %v", warm.Latency, idle.Latency)
+	}
+	if warm.EnergyJ >= idle.EnergyJ {
+		t.Fatal("warm start should cost less energy")
+	}
+	if !warm.GPUWarmStart || idle.GPUWarmStart {
+		t.Fatal("GPUWarmStart flags wrong")
+	}
+}
+
+func TestSteadyThroughputAtLeastFirstBatch(t *testing.T) {
+	sw := NewSweeper()
+	p, _ := sw.Measure(models.MnistSmall(), device.NvidiaGTX1080Ti(), 4096, false, 0)
+	if p.SteadyLatency > p.Latency {
+		t.Fatalf("steady latency %v should not exceed cold first batch %v", p.SteadyLatency, p.Latency)
+	}
+}
+
+func TestSweepGridSize(t *testing.T) {
+	sw := NewSweeper()
+	specs := []*nn.Spec{models.Simple(), models.MnistCNN()}
+	batches := []int{8, 512}
+	pts, err := sw.Sweep(specs, batches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 models × (CPU + iGPU + dGPU-idle + dGPU-warm) × 2 batches = 16.
+	if len(pts) != 16 {
+		t.Fatalf("sweep points = %d, want 16", len(pts))
+	}
+	warmPoints := 0
+	for _, p := range pts {
+		if p.GPUWarmStart {
+			warmPoints++
+			if p.Kind != device.DiscreteGPU {
+				t.Fatal("warm-start state only applies to the discrete GPU")
+			}
+		}
+	}
+	if warmPoints != 4 {
+		t.Fatalf("warm points = %d, want 4", warmPoints)
+	}
+}
+
+func TestBuildDatasetSizeMatchesPaper(t *testing.T) {
+	sw := NewSweeper()
+	sw.Noise = 0.12
+	set, err := sw.BuildDataset(models.AllModels(), PaperBatches(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 21 architectures × 18 batches × 2 GPU states × 2 reps = 1512,
+	// matching the paper's ≈1480-sample augmented dataset (§V-B).
+	if set.Len() != 1512 {
+		t.Fatalf("dataset size = %d, want 1512", set.Len())
+	}
+	if len(set.X[0]) != len(set.FeatureNames) {
+		t.Fatal("feature width mismatch")
+	}
+	if len(set.Devices) != 3 || len(set.Kinds) != 3 {
+		t.Fatalf("device classes = %v", set.Devices)
+	}
+	for _, o := range Objectives() {
+		if len(set.Y[o]) != set.Len() {
+			t.Fatalf("%s labels = %d", o, len(set.Y[o]))
+		}
+		shares := set.ClassShares(o)
+		// Imbalanced but no empty class and no total monopoly on the
+		// throughput/latency policies (the paper reports 30/40/30).
+		var sum float64
+		for _, s := range shares {
+			sum += s
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("%s shares sum %g", o, sum)
+		}
+		if o != EnergyEfficiency {
+			for c, s := range shares {
+				if s < 0.05 || s > 0.75 {
+					t.Fatalf("%s class %d share %.2f outside (0.05, 0.75)", o, c, s)
+				}
+			}
+		}
+	}
+}
+
+func TestDatasetTrainsAccurateForest(t *testing.T) {
+	// The headline reproduction: a tuned random forest cross-validates
+	// near the paper's 93.22% / F1 93.51% on the throughput policy.
+	sw := NewSweeper()
+	sw.Noise = 0.12
+	set, err := sw.BuildDataset(models.AllModels(), PaperBatches(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mlsched.CrossValidate(func() mlsched.Classifier { return mlsched.NewTunedForest(1) },
+		set.X, set.Y[BestThroughput], 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Accuracy < 0.85 || m.Accuracy > 0.99 {
+		t.Fatalf("forest CV accuracy %.1f%%, want near the paper's 93%%", 100*m.Accuracy)
+	}
+	if m.F1 < 0.75 {
+		t.Fatalf("forest CV F1 %.1f%% too low", 100*m.F1)
+	}
+}
+
+func TestMeasureConfigAndLoss(t *testing.T) {
+	sw := NewSweeper()
+	cm, err := sw.MeasureConfig(models.MnistSmall(), 4096, true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cm.Points) != 3 {
+		t.Fatalf("config points = %d", len(cm.Points))
+	}
+	for _, o := range Objectives() {
+		best := cm.Best(o)
+		if cm.LossVersusIdeal(o, best) != 0 {
+			t.Fatalf("%s: ideal device has non-zero loss", o)
+		}
+		for c := range cm.Points {
+			loss := cm.LossVersusIdeal(o, c)
+			if loss < 0 || loss > 1 {
+				t.Fatalf("%s class %d: loss %.2f outside [0,1]", o, c, loss)
+			}
+		}
+	}
+	if cm.TimeOf(0) != cm.Points[0].Latency {
+		t.Fatal("TimeOf mismatch")
+	}
+	// At batch 4096 with a warm GPU, mnist-small throughput is a dGPU win.
+	if best := cm.Best(BestThroughput); cm.Points[best].Kind != device.DiscreteGPU {
+		t.Fatalf("throughput winner at 4K warm should be the dGPU, got %s", cm.Points[best].Device)
+	}
+}
+
+func TestPaperFeatureImportanceClaim(t *testing.T) {
+	// §V-B: "the most important parameters is the samples size and the
+	// state of the GPU". Train the tuned forest on the real dataset and
+	// check log2_batch + gpu_warm dominate the importance ranking.
+	sw := NewSweeper()
+	sw.Noise = 0.12
+	set, err := sw.BuildDataset(models.AllModels(), PaperBatches(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := mlsched.NewTunedForest(1)
+	if err := f.Fit(set.X, set.Y[LowestLatency]); err != nil {
+		t.Fatal(err)
+	}
+	imp := f.FeatureImportance()
+	names := set.FeatureNames
+	byName := map[string]float64{}
+	for i, n := range names {
+		byName[n] = imp[i]
+	}
+	if byName["log2_batch"] < 0.2 {
+		t.Fatalf("batch size importance %.2f too low: %v", byName["log2_batch"], byName)
+	}
+	// gpu_warm must beat the median architecture feature.
+	archMax := 0.0
+	for _, n := range []string{"vgg_blocks", "convs_per_block", "filter_size", "pool_size"} {
+		if byName[n] > archMax {
+			archMax = byName[n]
+		}
+	}
+	if byName["gpu_warm"] <= archMax/2 {
+		t.Fatalf("gpu_warm importance %.3f should be material vs arch features (max %.3f): %v",
+			byName["gpu_warm"], archMax, byName)
+	}
+}

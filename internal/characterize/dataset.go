@@ -1,0 +1,230 @@
+package characterize
+
+import (
+	"fmt"
+	"time"
+
+	"bomw/internal/device"
+	"bomw/internal/nn"
+)
+
+// Objective is the scheduling policy dimension of §V-A: the metric the
+// device selection optimises.
+type Objective int
+
+const (
+	// BestThroughput maximises sustained samples/second.
+	BestThroughput Objective = iota
+	// LowestLatency minimises first-batch completion time from the
+	// current device state.
+	LowestLatency
+	// EnergyEfficiency minimises Joules per batch.
+	EnergyEfficiency
+)
+
+// Objectives lists all policies.
+func Objectives() []Objective {
+	return []Objective{BestThroughput, LowestLatency, EnergyEfficiency}
+}
+
+// String names the policy as the paper does (Fig. 5).
+func (o Objective) String() string {
+	switch o {
+	case BestThroughput:
+		return "best-throughput"
+	case LowestLatency:
+		return "lowest-latency"
+	case EnergyEfficiency:
+		return "energy-efficiency"
+	default:
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+}
+
+// Features assembles the scheduler's input representation (§V-B): the
+// architecture descriptor, the (log₂-scaled) batch size and the probed
+// discrete-GPU state.
+func Features(desc nn.Descriptor, batch int, gpuWarm bool) []float64 {
+	f := desc.Features()
+	warm := 0.0
+	if gpuWarm {
+		warm = 1
+	}
+	return append(f, log2(batch), warm)
+}
+
+// DatasetFeatureNames labels Features() columns.
+func DatasetFeatureNames() []string {
+	return append(nn.FeatureNames(), "log2_batch", "gpu_warm")
+}
+
+func log2(n int) float64 {
+	v := 0.0
+	for m := n; m > 1; m >>= 1 {
+		v++
+	}
+	return v
+}
+
+// LabeledSet is the scheduler's training corpus: one row per measured
+// configuration with a best-device label for every policy.
+type LabeledSet struct {
+	FeatureNames []string
+	Devices      []string // class index → device name
+	Kinds        []device.Kind
+	X            [][]float64
+	Y            map[Objective][]int
+	Models       []string // provenance: the model behind each row
+	Batches      []int
+	GPUWarm      []bool
+}
+
+// Len returns the number of samples.
+func (s *LabeledSet) Len() int { return len(s.X) }
+
+// ClassShares returns the label distribution of one objective (the paper
+// reports 30/40/30 CPU/GPU/iGPU).
+func (s *LabeledSet) ClassShares(o Objective) []float64 {
+	counts := make([]float64, len(s.Devices))
+	for _, c := range s.Y[o] {
+		counts[c]++
+	}
+	for i := range counts {
+		counts[i] /= float64(len(s.Y[o]))
+	}
+	return counts
+}
+
+// BuildDataset measures every spec × batch × GPU-state configuration reps
+// times under measurement noise and labels each replica with the
+// best device per policy. With the 21 training architectures, the paper's
+// batch grid and reps = 2 this lands at ≈1500 samples, matching the
+// paper's augmented dataset size (§V-B).
+func (s *Sweeper) BuildDataset(specs []*nn.Spec, batches []int, reps int) (*LabeledSet, error) {
+	if reps <= 0 {
+		reps = 1
+	}
+	set := &LabeledSet{
+		FeatureNames: DatasetFeatureNames(),
+		Y:            map[Objective][]int{},
+	}
+	for _, p := range s.Profiles {
+		set.Devices = append(set.Devices, p.Name)
+		set.Kinds = append(set.Kinds, p.Kind)
+	}
+	for _, spec := range specs {
+		desc := spec.Descriptor()
+		for _, batch := range batches {
+			for _, warm := range []bool{false, true} {
+				for rep := 0; rep < reps; rep++ {
+					pts := make([]Point, len(s.Profiles))
+					for di, prof := range s.Profiles {
+						gpuWarm := warm && prof.HasBoost
+						p, err := s.Measure(spec, prof, batch, gpuWarm, rep)
+						if err != nil {
+							return nil, err
+						}
+						pts[di] = p
+					}
+					set.X = append(set.X, Features(desc, batch, warm))
+					set.Models = append(set.Models, spec.Name)
+					set.Batches = append(set.Batches, batch)
+					set.GPUWarm = append(set.GPUWarm, warm)
+					for _, o := range Objectives() {
+						set.Y[o] = append(set.Y[o], bestDevice(pts, o))
+					}
+				}
+			}
+		}
+	}
+	return set, nil
+}
+
+// bestDevice returns the class index of the winning device for a policy.
+func bestDevice(pts []Point, o Objective) int {
+	best := 0
+	for i := 1; i < len(pts); i++ {
+		if betterFor(o, pts[i], pts[best]) {
+			best = i
+		}
+	}
+	return best
+}
+
+func betterFor(o Objective, a, b Point) bool {
+	switch o {
+	case BestThroughput:
+		return a.ThroughputGbps > b.ThroughputGbps
+	case LowestLatency:
+		return a.Latency < b.Latency
+	case EnergyEfficiency:
+		return a.EnergyJ < b.EnergyJ
+	default:
+		return false
+	}
+}
+
+// IdealAndAchieved looks up, for one configuration, the metric of the
+// ideal device and of a chosen device — the quantities behind Fig. 6's
+// green/red bars and the "performance loss from wrong predictions".
+type ConfigMetrics struct {
+	Points []Point // one per device, profile order
+}
+
+// MeasureConfig measures all devices for one configuration.
+func (s *Sweeper) MeasureConfig(spec *nn.Spec, batch int, gpuWarm bool, rep int) (ConfigMetrics, error) {
+	var cm ConfigMetrics
+	for _, prof := range s.Profiles {
+		p, err := s.Measure(spec, prof, batch, gpuWarm && prof.HasBoost, rep)
+		if err != nil {
+			return ConfigMetrics{}, err
+		}
+		cm.Points = append(cm.Points, p)
+	}
+	return cm, nil
+}
+
+// Best returns the winning class index for a policy.
+func (cm ConfigMetrics) Best(o Objective) int { return bestDevice(cm.Points, o) }
+
+// MetricOf extracts a policy's scalar metric for a device class; larger
+// is better for throughput, smaller for the others.
+func (cm ConfigMetrics) MetricOf(o Objective, class int) float64 {
+	p := cm.Points[class]
+	switch o {
+	case BestThroughput:
+		return p.ThroughputGbps
+	case LowestLatency:
+		return p.Latency.Seconds()
+	case EnergyEfficiency:
+		return p.EnergyJ
+	default:
+		return 0
+	}
+}
+
+// LossVersusIdeal returns the relative metric loss of picking class c
+// instead of the ideal device (0 = picked the ideal device).
+func (cm ConfigMetrics) LossVersusIdeal(o Objective, c int) float64 {
+	ideal := cm.Best(o)
+	if ideal == c {
+		return 0
+	}
+	iv := cm.MetricOf(o, ideal)
+	cv := cm.MetricOf(o, c)
+	switch o {
+	case BestThroughput:
+		if iv <= 0 {
+			return 0
+		}
+		return (iv - cv) / iv
+	default:
+		if cv <= 0 {
+			return 0
+		}
+		return (cv - iv) / cv
+	}
+}
+
+// TimeOf is a helper naming the latency of class c.
+func (cm ConfigMetrics) TimeOf(c int) time.Duration { return cm.Points[c].Latency }

@@ -1,0 +1,103 @@
+package characterize
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"bomw/internal/models"
+	"bomw/internal/nn"
+)
+
+func smallSet(t *testing.T) *LabeledSet {
+	t.Helper()
+	sw := NewSweeper()
+	sw.Noise = 0.12
+	set, err := sw.BuildDataset([]*nn.Spec{models.Simple(), models.MnistCNN()}, []int{8, 512, 8192}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	set := smallSet(t)
+	var buf bytes.Buffer
+	if err := set.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadCSV(bytes.NewReader(buf.Bytes()), set.Devices, set.Kinds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != set.Len() {
+		t.Fatalf("restored %d rows, want %d", restored.Len(), set.Len())
+	}
+	for i := range set.X {
+		if restored.Models[i] != set.Models[i] || restored.Batches[i] != set.Batches[i] ||
+			restored.GPUWarm[i] != set.GPUWarm[i] {
+			t.Fatalf("row %d metadata mismatch", i)
+		}
+		for j := range set.X[i] {
+			if restored.X[i][j] != set.X[i][j] {
+				t.Fatalf("row %d feature %d: %g != %g", i, j, restored.X[i][j], set.X[i][j])
+			}
+		}
+		for _, o := range Objectives() {
+			if restored.Y[o][i] != set.Y[o][i] {
+				t.Fatalf("row %d label %s mismatch", i, o)
+			}
+		}
+	}
+	if len(restored.FeatureNames) != len(set.FeatureNames) {
+		t.Fatal("feature names lost")
+	}
+}
+
+func TestCSVHeaderShape(t *testing.T) {
+	set := smallSet(t)
+	var buf bytes.Buffer
+	if err := set.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	header := strings.SplitN(buf.String(), "\n", 2)[0]
+	for _, want := range []string{"model", "batch", "gpu_warm", "log2_batch", "label_best-throughput", "label_energy-efficiency"} {
+		if !strings.Contains(header, want) {
+			t.Fatalf("CSV header %q missing %q", header, want)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	set := smallSet(t)
+	var buf bytes.Buffer
+	if err := set.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.String()
+
+	if _, err := ReadCSV(strings.NewReader(good), nil, nil); err == nil {
+		t.Fatal("missing device names accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("model,batch\n"), set.Devices, set.Kinds); err == nil {
+		t.Fatal("too-narrow CSV accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader(""), set.Devices, set.Kinds); err == nil {
+		t.Fatal("empty CSV accepted")
+	}
+	// Corrupt a label to be out of range.
+	lines := strings.Split(strings.TrimSpace(good), "\n")
+	parts := strings.Split(lines[1], ",")
+	parts[len(parts)-1] = "99"
+	lines[1] = strings.Join(parts, ",")
+	if _, err := ReadCSV(strings.NewReader(strings.Join(lines, "\n")), set.Devices, set.Kinds); err == nil {
+		t.Fatal("out-of-range label accepted")
+	}
+	// Corrupt a feature.
+	parts = strings.Split(lines[2], ",")
+	parts[4] = "not-a-number"
+	lines[2] = strings.Join(parts, ",")
+	if _, err := ReadCSV(strings.NewReader(strings.Join(lines, "\n")), set.Devices, set.Kinds); err == nil {
+		t.Fatal("non-numeric feature accepted")
+	}
+}

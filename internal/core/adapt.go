@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"bomw/internal/opencl"
+)
+
+// healthMonitor implements the scheduler's response to "system changes"
+// (§I): it compares the latency each device actually delivers against
+// what the characterisation model expects from an uncontended device,
+// keeps an exponentially weighted slowdown estimate per device, and
+// demotes devices whose estimate exceeds a threshold. When the
+// interference clears (observed ratios return to ≈1) the device is
+// promoted again — the scheduler "responds quickly to dynamic performance
+// fluctuations".
+type healthMonitor struct {
+	mu        sync.Mutex
+	ratio     map[string]float64 // EWMA of observed/expected latency
+	alpha     float64
+	threshold float64
+}
+
+func newHealthMonitor() *healthMonitor {
+	return &healthMonitor{ratio: map[string]float64{}, alpha: 0.4, threshold: 1.5}
+}
+
+// observe folds one (expected, observed) latency pair into the estimate.
+func (h *healthMonitor) observe(dev string, expected, observed time.Duration) {
+	if expected <= 0 || observed <= 0 {
+		return
+	}
+	r := float64(observed) / float64(expected)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	old, ok := h.ratio[dev]
+	if !ok {
+		old = 1
+	}
+	h.ratio[dev] = (1-h.alpha)*old + h.alpha*r
+}
+
+// degraded reports whether the device is currently flagged as suffering
+// external interference.
+func (h *healthMonitor) degraded(dev string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.ratio[dev] > h.threshold
+}
+
+// slowdownEstimate returns the current EWMA ratio (1 = healthy).
+func (h *healthMonitor) slowdownEstimate(dev string) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if r, ok := h.ratio[dev]; ok {
+		return r
+	}
+	return 1
+}
+
+// Observe feeds one completed execution back into the scheduler's health
+// monitor: the realized latency is compared against the expected latency
+// of an uncontended device in the same warm state (measured on a shadow
+// copy). Callers should invoke it after every Classify/Estimate whose
+// result they act on; Replay does so automatically.
+func (s *Scheduler) Observe(dec Decision, res *opencl.Result) error {
+	if res == nil {
+		return fmt.Errorf("core: Observe needs a result")
+	}
+	shadow, err := s.shadowExpect(dec)
+	if err != nil {
+		return err
+	}
+	// Exclude queueing: interference shows in execution, not arrival.
+	observed := res.Completed - res.Events[0].Start
+	s.health.observe(dec.Device, shadow, observed)
+	return nil
+}
+
+// shadowRequest converts a decision back into the request it served.
+func shadowRequest(dec Decision) shadowReq {
+	return shadowReq{Model: dec.Model, Batch: dec.Batch, At: 0}
+}
+
+// shadowExpect returns the uncontended expected latency for a decision.
+func (s *Scheduler) shadowExpect(dec Decision) (time.Duration, error) {
+	res, err := s.shadowEstimate(dec.Device, shadowRequest(dec))
+	if err != nil {
+		return 0, err
+	}
+	return res.Latency(), nil
+}
+
+// DeviceHealth reports the monitor's current slowdown estimate and
+// degraded flag for a device.
+func (s *Scheduler) DeviceHealth(dev string) (slowdown float64, degraded bool) {
+	return s.health.slowdownEstimate(dev), s.health.degraded(dev)
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestAuditDisabledByDefault(t *testing.T) {
+	s := testScheduler(t)
+	if _, err := s.Select("simple", 8, LowestLatency, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.RecentDecisions(10); got != nil {
+		t.Fatalf("audit off but recorded %d entries", len(got))
+	}
+}
+
+func TestAuditRecordsDecisions(t *testing.T) {
+	s := testScheduler(t)
+	s.EnableAudit(8)
+	for i := 0; i < 5; i++ {
+		if _, err := s.Select("mnist-small", 512<<i, BestThroughput, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries := s.RecentDecisions(0)
+	if len(entries) != 5 {
+		t.Fatalf("recorded %d entries, want 5", len(entries))
+	}
+	for i, e := range entries {
+		if e.Seq != int64(i) {
+			t.Fatalf("entry %d has seq %d", i, e.Seq)
+		}
+		if e.Model != "mnist-small" || e.Batch != 512<<i || e.Policy != "best-throughput" {
+			t.Fatalf("entry %d wrong: %+v", i, e)
+		}
+		if e.Device == "" {
+			t.Fatal("device missing from audit entry")
+		}
+	}
+	// Limited read returns the most recent, oldest first.
+	last2 := s.RecentDecisions(2)
+	if len(last2) != 2 || last2[0].Seq != 3 || last2[1].Seq != 4 {
+		t.Fatalf("RecentDecisions(2) = %+v", last2)
+	}
+}
+
+func TestAuditRingWraps(t *testing.T) {
+	s := testScheduler(t)
+	s.EnableAudit(4)
+	for i := 0; i < 10; i++ {
+		if _, err := s.Select("simple", 8, LowestLatency, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries := s.RecentDecisions(0)
+	if len(entries) != 4 {
+		t.Fatalf("ring holds %d entries, want 4", len(entries))
+	}
+	if entries[0].Seq != 6 || entries[3].Seq != 9 {
+		t.Fatalf("ring kept wrong window: %d..%d", entries[0].Seq, entries[3].Seq)
+	}
+}
+
+func TestAuditJSONExport(t *testing.T) {
+	s := testScheduler(t)
+	s.EnableAudit(16)
+	if _, err := s.Select("mnist-small", 4096, EnergyEfficiency, 0); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteAuditJSON(&buf, 10); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != 1 {
+		t.Fatalf("decoded %d entries", len(decoded))
+	}
+	for _, key := range []string{"seq", "at_us", "model", "batch", "policy", "device", "decision_us"} {
+		if _, ok := decoded[0][key]; !ok {
+			t.Fatalf("JSON missing %q: %s", key, buf.String())
+		}
+	}
+	if !strings.Contains(buf.String(), "energy-efficiency") {
+		t.Fatal("policy name missing from export")
+	}
+}

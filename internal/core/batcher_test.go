@@ -1,0 +1,126 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"bomw/internal/trace"
+)
+
+func TestBatcherValidation(t *testing.T) {
+	b := &Batcher{}
+	if _, err := b.Aggregate(trace.Trace{{At: 0, Model: "m", Batch: 1}}); err == nil {
+		t.Fatal("zero window accepted")
+	}
+	b = &Batcher{Window: time.Millisecond, MaxBatch: 8}
+	if _, err := b.Aggregate(trace.Trace{
+		{At: time.Second, Model: "m", Batch: 1},
+		{At: 0, Model: "m", Batch: 1},
+	}); err == nil {
+		t.Fatal("out-of-order trace accepted")
+	}
+}
+
+func TestBatcherFlushOnSize(t *testing.T) {
+	b := &Batcher{Window: time.Hour, MaxBatch: 10}
+	var tr trace.Trace
+	for i := 0; i < 25; i++ {
+		tr = append(tr, trace.Request{At: time.Duration(i) * time.Millisecond, Model: "m", Batch: 1})
+	}
+	batches, err := b.Aggregate(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 25 singles at MaxBatch 10 → 10, 10, and a 5-sample window flush.
+	if len(batches) != 3 {
+		t.Fatalf("batches = %d, want 3", len(batches))
+	}
+	if batches[0].Size != 10 || batches[1].Size != 10 || batches[2].Size != 5 {
+		t.Fatalf("batch sizes = %d,%d,%d", batches[0].Size, batches[1].Size, batches[2].Size)
+	}
+	if batches[0].Requests != 10 {
+		t.Fatalf("requests aggregated = %d", batches[0].Requests)
+	}
+	// Size-triggered flushes release immediately (no window wait).
+	if batches[0].FlushAt != 9*time.Millisecond {
+		t.Fatalf("first flush at %v", batches[0].FlushAt)
+	}
+}
+
+func TestBatcherFlushOnWindow(t *testing.T) {
+	b := &Batcher{Window: 10 * time.Millisecond, MaxBatch: 1000}
+	tr := trace.Trace{
+		{At: 0, Model: "m", Batch: 2},
+		{At: 3 * time.Millisecond, Model: "m", Batch: 2},
+		{At: 50 * time.Millisecond, Model: "m", Batch: 2}, // past the window
+	}
+	batches, err := b.Aggregate(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) != 2 {
+		t.Fatalf("batches = %d, want 2", len(batches))
+	}
+	if batches[0].Size != 4 || batches[0].FlushAt != 10*time.Millisecond {
+		t.Fatalf("first batch = %+v", batches[0])
+	}
+	if batches[0].Wait() != 10*time.Millisecond {
+		t.Fatalf("oldest sample waited %v", batches[0].Wait())
+	}
+	if batches[1].Size != 2 || batches[1].FlushAt != 60*time.Millisecond {
+		t.Fatalf("straggler batch = %+v", batches[1])
+	}
+}
+
+func TestBatcherKeepsModelsSeparate(t *testing.T) {
+	b := &Batcher{Window: time.Minute, MaxBatch: 100}
+	tr := trace.Trace{
+		{At: 0, Model: "a", Batch: 3},
+		{At: time.Millisecond, Model: "b", Batch: 5},
+		{At: 2 * time.Millisecond, Model: "a", Batch: 3},
+	}
+	batches, err := b.Aggregate(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := map[string]int{}
+	for _, bt := range batches {
+		sizes[bt.Model] += bt.Size
+	}
+	if sizes["a"] != 6 || sizes["b"] != 5 {
+		t.Fatalf("per-model sizes = %v", sizes)
+	}
+}
+
+func TestReplayBatchedTradeoff(t *testing.T) {
+	// The batching trade-off of §IV-C: aggregating single-sample arrivals
+	// into batches must raise sustained throughput (fewer fixed costs per
+	// sample) while adding aggregation wait to per-request latency.
+	s := testScheduler(t)
+	var tr trace.Trace
+	for i := 0; i < 400; i++ {
+		tr = append(tr, trace.Request{
+			At:    time.Duration(i) * 50 * time.Microsecond,
+			Model: "mnist-small",
+			Batch: 1,
+		})
+	}
+	unbatched, err := s.Replay(tr, BestThroughput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := s.ReplayBatched(tr, &Batcher{Window: 5 * time.Millisecond, MaxBatch: 256}, BestThroughput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batched.Requests != unbatched.Requests || batched.TotalSamples != unbatched.TotalSamples {
+		t.Fatalf("accounting mismatch: %+v vs %+v", batched.Requests, unbatched.Requests)
+	}
+	if batched.Makespan >= unbatched.Makespan {
+		t.Fatalf("batching should shorten the makespan: %v vs %v", batched.Makespan, unbatched.Makespan)
+	}
+	if batched.TotalEnergyJ >= unbatched.TotalEnergyJ {
+		t.Fatalf("batching should amortise fixed energy: %.1fJ vs %.1fJ",
+			batched.TotalEnergyJ, unbatched.TotalEnergyJ)
+	}
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+
+	"bomw/internal/models"
+)
+
+func benchSched(b *testing.B) *Scheduler {
+	b.Helper()
+	schedOnce.Do(func() {
+		sched, schedErr = New(Config{TrainModels: models.AllModels()})
+		if schedErr != nil {
+			return
+		}
+		for _, spec := range models.PaperModels() {
+			if schedErr = sched.LoadModel(spec, 1); schedErr != nil {
+				return
+			}
+		}
+	})
+	if schedErr != nil {
+		b.Fatal(schedErr)
+	}
+	sched.ResetDevices()
+	return sched
+}
+
+// BenchmarkSelect measures the scheduler's per-request decision cost —
+// the "Classification Time" column of Table II, end to end (probe +
+// feature assembly + forest vote).
+func BenchmarkSelect(b *testing.B) {
+	s := benchSched(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Select("mnist-small", 4096, BestThroughput, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEstimate(b *testing.B) {
+	s := benchSched(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Estimate("mnist-small", 4096, LowestLatency, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSchedulerConstruction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := New(Config{
+			TrainModels: models.PaperModels(),
+			Batches:     []int{8, 512, 8192},
+			Reps:        1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Deadline-aware selection extends the paper's three policies with a
+// service-level objective: among the devices predicted to finish a batch
+// within the deadline, pick the most energy-efficient one; if no device
+// can meet it, pick the fastest. Predictions come from the same shadow
+// cost models the oracle replay uses, plus the live queue and warm state
+// of each device — a model-based counterpart to the learned policies.
+
+// DeadlineDecision reports the outcome of a deadline-constrained choice.
+type DeadlineDecision struct {
+	Decision
+	Deadline   time.Duration
+	Predicted  time.Duration // predicted completion latency on the pick
+	Met        bool          // the pick is predicted to meet the deadline
+	Candidates int           // devices predicted to meet the deadline
+}
+
+// SelectWithDeadline picks a device for one request under a latency SLO
+// at virtual time now.
+func (s *Scheduler) SelectWithDeadline(model string, batch int, deadline time.Duration, now time.Duration) (DeadlineDecision, error) {
+	if batch <= 0 {
+		return DeadlineDecision{}, fmt.Errorf("core: batch size must be positive, got %d", batch)
+	}
+	if deadline <= 0 {
+		return DeadlineDecision{}, fmt.Errorf("core: deadline must be positive, got %v", deadline)
+	}
+	if _, err := s.disp.Spec(model); err != nil {
+		return DeadlineDecision{}, err
+	}
+
+	type cand struct {
+		class   int
+		latency time.Duration // queue wait + predicted execution
+		energy  float64
+	}
+	var cands []cand
+	for class, d := range s.devices {
+		shadow, err := s.shadowEstimate(d.Name(), shadowReq{Model: model, Batch: batch, At: now})
+		if err != nil {
+			return DeadlineDecision{}, err
+		}
+		wait := d.StateAt(now).BusyUntil - now
+		if wait < 0 {
+			wait = 0
+		}
+		// Fold in the observed interference estimate so a contended
+		// device's prediction reflects reality.
+		slow, _ := s.DeviceHealth(d.Name())
+		if slow < 1 {
+			slow = 1
+		}
+		lat := wait + time.Duration(float64(shadow.Latency())*slow)
+		cands = append(cands, cand{class: class, latency: lat, energy: shadow.EnergyJ})
+	}
+
+	best := -1
+	meeting := 0
+	for i, c := range cands {
+		if c.latency <= deadline {
+			meeting++
+			if best == -1 || c.energy < cands[best].energy {
+				best = i
+			}
+		}
+	}
+	met := best != -1
+	if !met {
+		// Nothing meets the SLO: minimise the damage.
+		for i, c := range cands {
+			if best == -1 || c.latency < cands[best].latency {
+				best = i
+			}
+		}
+	}
+
+	chosen := cands[best]
+	dec := DeadlineDecision{
+		Decision: Decision{
+			Model:   model,
+			Batch:   batch,
+			Class:   chosen.class,
+			Device:  s.devices[chosen.class].Name(),
+			GPUWarm: s.probeGPU(now),
+		},
+		Deadline:   deadline,
+		Predicted:  chosen.latency,
+		Met:        met,
+		Candidates: meeting,
+	}
+	s.mu.Lock()
+	s.stats.Decisions++
+	s.stats.PerDevice[dec.Device]++
+	s.mu.Unlock()
+	return dec, nil
+}

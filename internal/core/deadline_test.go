@@ -1,0 +1,127 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSelectWithDeadlineValidation(t *testing.T) {
+	s := testScheduler(t)
+	if _, err := s.SelectWithDeadline("mnist-small", 0, time.Second, 0); err == nil {
+		t.Fatal("batch 0 accepted")
+	}
+	if _, err := s.SelectWithDeadline("mnist-small", 8, 0, 0); err == nil {
+		t.Fatal("zero deadline accepted")
+	}
+	if _, err := s.SelectWithDeadline("nope", 8, time.Second, 0); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestLooseDeadlinePicksEnergyEfficient(t *testing.T) {
+	// With a generous SLO every device qualifies, so the pick should be
+	// the low-power one — not the fast dGPU.
+	s := testScheduler(t)
+	dec, err := s.SelectWithDeadline("mnist-small", 2048, time.Hour, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Met || dec.Candidates != 3 {
+		t.Fatalf("loose deadline: met=%t candidates=%d", dec.Met, dec.Candidates)
+	}
+	if dec.Device == "GTX 1080 Ti" {
+		t.Fatal("loose SLO should avoid the power-hungry dGPU")
+	}
+}
+
+func TestTightDeadlinePicksFastDevice(t *testing.T) {
+	// At 64K mnist-small from a warm GPU only the dGPU can finish in a
+	// few hundred milliseconds.
+	s := testScheduler(t)
+	for _, d := range s.cfg.Devices {
+		if d.Profile().HasBoost {
+			d.Warm(0)
+		}
+	}
+	dec, err := s.SelectWithDeadline("mnist-small", 65536, 600*time.Millisecond, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Met {
+		t.Fatalf("warm dGPU should meet 600ms for 64K: predicted %v", dec.Predicted)
+	}
+	if dec.Device != "GTX 1080 Ti" {
+		t.Fatalf("tight SLO pick = %s, want the dGPU", dec.Device)
+	}
+}
+
+func TestImpossibleDeadlineFallsBackToFastest(t *testing.T) {
+	s := testScheduler(t)
+	dec, err := s.SelectWithDeadline("mnist-deep", 262144, time.Microsecond, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Met || dec.Candidates != 0 {
+		t.Fatalf("nothing can classify 256K deep samples in 1µs: %+v", dec)
+	}
+	// Fallback must be the latency-minimising device (the dGPU at this
+	// scale).
+	if dec.Device != "GTX 1080 Ti" {
+		t.Fatalf("fallback pick = %s", dec.Device)
+	}
+	if dec.Predicted <= 0 {
+		t.Fatal("prediction missing")
+	}
+}
+
+func TestDeadlineAccountsForQueue(t *testing.T) {
+	// A busy low-power device must be passed over when its queue breaks
+	// the SLO, even though its execution alone would meet it.
+	s := testScheduler(t)
+	loose, err := s.SelectWithDeadline("mnist-small", 512, 200*time.Millisecond, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Saturate the chosen device with a deep queue.
+	for i := 0; i < 80; i++ {
+		if _, err := s.rt.Estimate(loose.Device, "mnist-small", 65536, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dec, err := s.SelectWithDeadline("mnist-small", 512, 200*time.Millisecond, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Device == loose.Device {
+		t.Fatal("deadline selection ignored the queue backlog")
+	}
+}
+
+func TestDeadlineAccountsForInterference(t *testing.T) {
+	s := testScheduler(t)
+	base, err := s.SelectWithDeadline("mnist-small", 4096, 50*time.Millisecond, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Contend the chosen device and teach the health monitor about it.
+	for _, d := range s.cfg.Devices {
+		if d.Name() == base.Device {
+			d.SetSlowdown(20)
+		}
+	}
+	at := time.Duration(0)
+	for i := 0; i < 4; i++ {
+		res, _ := s.rt.Estimate(base.Device, "mnist-small", 4096, at)
+		at = res.Completed
+		if err := s.Observe(Decision{Model: "mnist-small", Batch: 4096, Device: base.Device}, res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dec, err := s.SelectWithDeadline("mnist-small", 4096, 50*time.Millisecond, at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Device == base.Device {
+		t.Fatal("deadline selection ignored observed interference")
+	}
+}

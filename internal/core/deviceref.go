@@ -1,0 +1,11 @@
+package core
+
+import "bomw/internal/device"
+
+// deviceRef wraps a live device to mint fresh copies with the same
+// profile for shadow measurements.
+type deviceRef struct {
+	d *device.Device
+}
+
+func (r *deviceRef) freshCopy() *device.Device { return device.New(r.d.Profile()) }

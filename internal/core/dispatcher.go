@@ -1,0 +1,115 @@
+// Package core implements the paper's primary contribution: the online,
+// adaptive, device-agnostic scheduler of §V and Fig. 5, together with the
+// Dispatcher of Fig. 2 that builds models, stages their weights and loads
+// them onto every available processing device.
+//
+// The scheduler reads classification requests, probes the state of the
+// discrete GPU over (simulated) PCIe, assembles the feature vector of
+// §V-B — architecture descriptor, batch size, GPU state — and asks a
+// trained classifier (a random forest by default) for the device that
+// best serves the active policy: best throughput, lowest latency or
+// energy efficiency. It adapts online: device queues are observed, so
+// overloads spill to the next-ranked device, and every decision re-probes
+// the GPU clock state.
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+
+	"bomw/internal/nn"
+	"bomw/internal/opencl"
+)
+
+// Dispatcher realises Fig. 2: the Model Building Module turns an
+// architecture spec into a network, the Weights Building Module
+// serialises the trained weights into buffers, and the resulting models
+// are loaded into each of the available processing devices through the
+// OpenCL runtime.
+type Dispatcher struct {
+	rt *opencl.Runtime
+
+	mu      sync.Mutex
+	specs   map[string]*nn.Spec
+	nets    map[string]*nn.Network
+	weights map[string][]byte // serialized weight buffers, per model
+}
+
+// NewDispatcher wraps a runtime.
+func NewDispatcher(rt *opencl.Runtime) *Dispatcher {
+	return &Dispatcher{
+		rt:      rt,
+		specs:   map[string]*nn.Spec{},
+		nets:    map[string]*nn.Network{},
+		weights: map[string][]byte{},
+	}
+}
+
+// Load performs the full Fig. 2 cycle for one model: build from the spec
+// (1-2), stage the weights into buffers (3-4), and load model plus
+// weights into every device (5).
+func (d *Dispatcher) Load(spec *nn.Spec, seed int64) (*nn.Network, error) {
+	net, err := spec.Build(seed) // Model Building Module
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer // Weights Building Module
+	if err := net.WriteWeights(&buf); err != nil {
+		return nil, err
+	}
+	if err := d.rt.LoadModel(net); err != nil { // load into devices
+		return nil, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.specs[spec.Name] = spec
+	d.nets[spec.Name] = net
+	d.weights[spec.Name] = buf.Bytes()
+	return net, nil
+}
+
+// Spec returns the registered spec for a model.
+func (d *Dispatcher) Spec(model string) (*nn.Spec, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s, ok := d.specs[model]
+	if !ok {
+		return nil, fmt.Errorf("core: model %q not loaded", model)
+	}
+	return s, nil
+}
+
+// Network returns the built network for a model.
+func (d *Dispatcher) Network(model string) (*nn.Network, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n, ok := d.nets[model]
+	if !ok {
+		return nil, fmt.Errorf("core: model %q not loaded", model)
+	}
+	return n, nil
+}
+
+// WeightBytes returns the staged weight buffer for a model — what the
+// Dispatcher holds after the training phase completes.
+func (d *Dispatcher) WeightBytes(model string) ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	w, ok := d.weights[model]
+	if !ok {
+		return nil, fmt.Errorf("core: model %q not loaded", model)
+	}
+	return w, nil
+}
+
+// Models lists loaded model names.
+func (d *Dispatcher) Models() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, 0, len(d.nets))
+	for n := range d.nets {
+		out = append(out, n)
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+
+	"bomw/internal/trace"
+)
+
+func TestMixTraceTagsPolicies(t *testing.T) {
+	tr, err := trace.Poisson(30, 100, []string{"simple", "mnist-small"}, []int{8}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed := MixTrace(tr, map[string]Policy{
+		"simple": LowestLatency,
+		// mnist-small deliberately unmapped → default policy.
+	})
+	if len(mixed) != len(tr) {
+		t.Fatalf("mixed length %d", len(mixed))
+	}
+	for _, req := range mixed {
+		switch req.Model {
+		case "simple":
+			if req.Policy != LowestLatency {
+				t.Fatal("mapped model got wrong policy")
+			}
+		default:
+			if req.Policy != BestThroughput {
+				t.Fatal("unmapped model should default to throughput")
+			}
+		}
+	}
+}
+
+func TestReplayMixedSharesDevices(t *testing.T) {
+	s := testScheduler(t)
+	tr, err := trace.Poisson(80, 300, []string{"simple", "mnist-small", "mnist-cnn"},
+		[]int{8, 512, 8192}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed := MixTrace(tr, map[string]Policy{
+		"simple":      LowestLatency,
+		"mnist-small": BestThroughput,
+		"mnist-cnn":   EnergyEfficiency,
+	})
+	res, err := s.ReplayMixed(mixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total.Requests != 80 {
+		t.Fatalf("total requests %d", res.Total.Requests)
+	}
+	if len(res.PerPolicy) != 3 {
+		t.Fatalf("policies seen = %d", len(res.PerPolicy))
+	}
+	sum := 0
+	for pol, pr := range res.PerPolicy {
+		if pr.Requests == 0 {
+			t.Fatalf("policy %v served nothing", pol)
+		}
+		if pr.AvgLatency() <= 0 || pr.TotalEnergyJ <= 0 {
+			t.Fatalf("policy %v degenerate stats", pol)
+		}
+		sum += pr.Requests
+	}
+	if sum != res.Total.Requests {
+		t.Fatalf("per-policy requests %d != total %d", sum, res.Total.Requests)
+	}
+	if res.Total.TotalEnergyJ <= 0 || res.Total.Percentile(99) <= 0 {
+		t.Fatal("total aggregates degenerate")
+	}
+}
+
+func TestReplayMixedErrorsOnUnknownModel(t *testing.T) {
+	s := testScheduler(t)
+	mixed := []MixedRequest{{Request: trace.Request{Model: "nope", Batch: 8}, Policy: BestThroughput}}
+	if _, err := s.ReplayMixed(mixed); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"bomw/internal/opencl"
+	"bomw/internal/trace"
+)
+
+// ReplayResult aggregates one trace replay.
+type ReplayResult struct {
+	Requests     int
+	TotalSamples int64
+	Makespan     time.Duration // completion of the last request
+	TotalEnergyJ float64
+	SumLatency   time.Duration
+	MaxLatency   time.Duration
+	PerDevice    map[string]int
+	Spills       int
+	latencies    []time.Duration
+}
+
+// AvgLatency returns the mean request latency.
+func (r ReplayResult) AvgLatency() time.Duration {
+	if r.Requests == 0 {
+		return 0
+	}
+	return r.SumLatency / time.Duration(r.Requests)
+}
+
+// Percentile returns the p-th latency percentile (p in [0,100]); tail
+// latency is what the paper's latency policy protects.
+func (r ReplayResult) Percentile(p float64) time.Duration {
+	if len(r.latencies) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	sorted := append([]time.Duration(nil), r.latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[idx]
+}
+
+func (r *ReplayResult) record(lat time.Duration) {
+	r.SumLatency += lat
+	if lat > r.MaxLatency {
+		r.MaxLatency = lat
+	}
+	r.latencies = append(r.latencies, lat)
+}
+
+// SamplesPerSecond returns sustained throughput over the makespan.
+func (r ReplayResult) SamplesPerSecond() float64 {
+	if r.Makespan <= 0 {
+		return 0
+	}
+	return float64(r.TotalSamples) / r.Makespan.Seconds()
+}
+
+// ResetDevices returns every scheduled device to a cold, idle state and
+// clears the health monitor; replays call it to start from a clean
+// system.
+func (s *Scheduler) ResetDevices() {
+	for _, d := range s.devices {
+		d.Reset()
+	}
+	s.health = newHealthMonitor()
+}
+
+// Replay feeds a request trace through the scheduler under one policy
+// (timing-only execution) and aggregates the outcome. Devices are reset
+// first so runs are comparable.
+func (s *Scheduler) Replay(tr trace.Trace, pol Policy) (ReplayResult, error) {
+	s.ResetDevices()
+	res := ReplayResult{PerDevice: map[string]int{}}
+	before := s.Stats().Spills
+	for _, req := range tr {
+		out, dec, err := s.Estimate(req.Model, req.Batch, pol, req.At)
+		if err != nil {
+			return ReplayResult{}, fmt.Errorf("core: replay at %v: %w", req.At, err)
+		}
+		if err := s.Observe(dec, out); err != nil {
+			return ReplayResult{}, err
+		}
+		res.Requests++
+		res.TotalSamples += int64(req.Batch)
+		res.TotalEnergyJ += out.EnergyJ
+		res.record(out.Latency())
+		if out.Completed > res.Makespan {
+			res.Makespan = out.Completed
+		}
+		res.PerDevice[dec.Device]++
+	}
+	res.Spills = s.Stats().Spills - before
+	return res, nil
+}
+
+// ReplayStatic replays the trace pinning every request to one device —
+// the "always use device X" baselines the paper's adaptive scheduler is
+// compared against (e.g. always-dGPU, the most powerful device).
+func (s *Scheduler) ReplayStatic(tr trace.Trace, devName string) (ReplayResult, error) {
+	s.ResetDevices()
+	found := false
+	for _, d := range s.devices {
+		if d.Name() == devName {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return ReplayResult{}, fmt.Errorf("core: unknown device %q", devName)
+	}
+	res := ReplayResult{PerDevice: map[string]int{devName: 0}}
+	for _, req := range tr {
+		out, err := s.rt.Estimate(devName, req.Model, req.Batch, req.At)
+		if err != nil {
+			return ReplayResult{}, fmt.Errorf("core: static replay at %v: %w", req.At, err)
+		}
+		res.Requests++
+		res.TotalSamples += int64(req.Batch)
+		res.TotalEnergyJ += out.EnergyJ
+		res.record(out.Latency())
+		if out.Completed > res.Makespan {
+			res.Makespan = out.Completed
+		}
+		res.PerDevice[devName]++
+	}
+	return res, nil
+}
+
+// OracleReplay replays the trace with a clairvoyant selector that tries
+// every device (on shadow state) and keeps the best under the policy —
+// the "ideal" bars of Fig. 6. It is quadratic in devices and meant for
+// evaluation only.
+func (s *Scheduler) OracleReplay(tr trace.Trace, pol Policy) (ReplayResult, error) {
+	s.ResetDevices()
+	res := ReplayResult{PerDevice: map[string]int{}}
+	for _, req := range tr {
+		bestName := ""
+		var best *opencl.Result
+		// Probe each device on a snapshot: measure without committing by
+		// replaying on clones. Devices cannot be cloned cheaply, so the
+		// oracle instead measures each device in isolation from reset
+		// state — an idealised (queue-free) bound.
+		for _, d := range s.devices {
+			shadow, err := s.shadowEstimate(d.Name(), shadowReq{Model: req.Model, Batch: req.Batch})
+			if err != nil {
+				return ReplayResult{}, err
+			}
+			if best == nil || betterResult(pol, shadow, best) {
+				best, bestName = shadow, d.Name()
+			}
+		}
+		out, err := s.rt.Estimate(bestName, req.Model, req.Batch, req.At)
+		if err != nil {
+			return ReplayResult{}, err
+		}
+		res.Requests++
+		res.TotalSamples += int64(req.Batch)
+		res.TotalEnergyJ += out.EnergyJ
+		res.record(out.Latency())
+		if out.Completed > res.Makespan {
+			res.Makespan = out.Completed
+		}
+		res.PerDevice[bestName]++
+	}
+	return res, nil
+}
+
+// shadowReq is the minimal request shape shadow measurements need; both
+// trace.Request and decisions convert into it.
+type shadowReq struct {
+	Model string
+	Batch int
+	At    time.Duration
+}
+
+// shadowEstimate measures one request on a fresh copy of the named
+// device, mirroring its current warm state, without touching live state.
+func (s *Scheduler) shadowEstimate(devName string, req shadowReq) (*opencl.Result, error) {
+	var live *deviceRef
+	for _, d := range s.devices {
+		if d.Name() == devName {
+			live = &deviceRef{d}
+			break
+		}
+	}
+	if live == nil {
+		return nil, fmt.Errorf("core: unknown device %q", devName)
+	}
+	shadow := live.freshCopy()
+	if live.d.StateAt(req.At).Warm {
+		shadow.Warm(0)
+	}
+	rt, err := opencl.NewRuntime(shadow)
+	if err != nil {
+		return nil, err
+	}
+	net, err := s.disp.Network(req.Model)
+	if err != nil {
+		return nil, err
+	}
+	if err := rt.LoadModel(net); err != nil {
+		return nil, err
+	}
+	return rt.Estimate(devName, req.Model, req.Batch, 0)
+}
+
+func betterResult(pol Policy, a, b *opencl.Result) bool {
+	switch pol {
+	case EnergyEfficiency:
+		return a.EnergyJ < b.EnergyJ
+	default: // throughput and latency both favour faster completion here
+		return a.Latency() < b.Latency()
+	}
+}

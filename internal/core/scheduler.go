@@ -1,0 +1,412 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"bomw/internal/characterize"
+	"bomw/internal/device"
+	"bomw/internal/mlsched"
+	"bomw/internal/nn"
+	"bomw/internal/opencl"
+	"bomw/internal/tensor"
+)
+
+// Policy selects the metric a device decision optimises (Fig. 5): best
+// throughput, lowest latency or energy efficiency.
+type Policy = characterize.Objective
+
+// Policy values, re-exported for scheduler users.
+const (
+	BestThroughput   = characterize.BestThroughput
+	LowestLatency    = characterize.LowestLatency
+	EnergyEfficiency = characterize.EnergyEfficiency
+)
+
+// Config parameterises scheduler construction.
+type Config struct {
+	// Devices are the processors to schedule over. Defaults to the
+	// paper's CPU + iGPU + dGPU trio.
+	Devices []*device.Device
+	// TrainModels are the architectures characterised to produce the
+	// training dataset (§V-B). Required.
+	TrainModels []*nn.Spec
+	// Batches is the characterisation batch grid; defaults to the
+	// paper's 2..256K sweep.
+	Batches []int
+	// Reps is the number of noisy measurement replicas per
+	// configuration; defaults to 2 (≈1500 samples on 21 models).
+	Reps int
+	// Noise is the measurement noise of the characterisation runs;
+	// defaults to 0.12 relative standard deviation.
+	Noise float64
+	// Seed drives every random choice; defaults to 1.
+	Seed int64
+	// BuildClassifier constructs the per-policy selector; defaults to
+	// the tuned random forest (§VI). Must be deterministic in the seed.
+	BuildClassifier func(seed int64) mlsched.Classifier
+	// MaxQueueDelay is the adaptation threshold: if the selected
+	// device's queue would delay the request by more than this, the
+	// scheduler spills to the next-ranked device (overload response,
+	// §I "application overloads"). Defaults to 100 ms. Negative
+	// disables spilling.
+	MaxQueueDelay time.Duration
+	// EvaluateCV additionally cross-validates every policy's classifier
+	// on the training set and records the metrics (slower construction).
+	EvaluateCV bool
+}
+
+func (c *Config) fillDefaults() {
+	if len(c.Devices) == 0 {
+		for _, p := range device.DefaultProfiles() {
+			c.Devices = append(c.Devices, device.New(p))
+		}
+	}
+	if len(c.Batches) == 0 {
+		c.Batches = characterize.PaperBatches()
+	}
+	if c.Reps <= 0 {
+		c.Reps = 2
+	}
+	if c.Noise == 0 {
+		c.Noise = 0.12
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.BuildClassifier == nil {
+		c.BuildClassifier = func(seed int64) mlsched.Classifier { return mlsched.NewTunedForest(seed) }
+	}
+	if c.MaxQueueDelay == 0 {
+		c.MaxQueueDelay = 100 * time.Millisecond
+	}
+}
+
+// Decision records one scheduling choice.
+type Decision struct {
+	Model    string
+	Batch    int
+	Policy   Policy
+	Class    int
+	Device   string
+	GPUWarm  bool
+	Spilled  bool // rerouted off the predicted device due to overload
+	Features []float64
+	// DecisionTime is the wall-clock cost of making this decision (the
+	// paper's "classification time", Table II).
+	DecisionTime time.Duration
+}
+
+// Stats aggregates scheduler activity.
+type Stats struct {
+	Decisions int
+	Spills    int
+	PerDevice map[string]int
+	PerPolicy map[Policy]int
+}
+
+// Scheduler is the online adaptive scheduler of Fig. 5.
+type Scheduler struct {
+	cfg  Config
+	rt   *opencl.Runtime
+	disp *Dispatcher
+
+	devices []*device.Device
+	dgpu    *device.Device // nil when no boosted device is present
+
+	classifiers map[Policy]mlsched.Classifier
+	cvMetrics   map[Policy]mlsched.Metrics
+	dataset     *characterize.LabeledSet
+	health      *healthMonitor
+	audit       *auditLog
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// New characterises the devices over the training models, trains one
+// classifier per policy, and returns a ready scheduler. Construction is
+// the paper's offline phase (≈26 s on the testbed; a couple of seconds
+// here).
+func New(cfg Config) (*Scheduler, error) {
+	cfg.fillDefaults()
+	if len(cfg.TrainModels) == 0 {
+		return nil, fmt.Errorf("core: Config.TrainModels is required")
+	}
+	rt, err := opencl.NewRuntime(cfg.Devices...)
+	if err != nil {
+		return nil, err
+	}
+	s := &Scheduler{
+		cfg:         cfg,
+		rt:          rt,
+		disp:        NewDispatcher(rt),
+		devices:     cfg.Devices,
+		classifiers: map[Policy]mlsched.Classifier{},
+		cvMetrics:   map[Policy]mlsched.Metrics{},
+		health:      newHealthMonitor(),
+	}
+	for _, d := range cfg.Devices {
+		if d.Profile().HasBoost {
+			s.dgpu = d
+			break
+		}
+	}
+
+	// Characterise on shadow devices built from the same profiles so the
+	// online devices keep their live state.
+	sweeper := &characterize.Sweeper{Noise: cfg.Noise, Seed: cfg.Seed}
+	for _, d := range cfg.Devices {
+		sweeper.Profiles = append(sweeper.Profiles, d.Profile())
+	}
+	s.dataset, err = sweeper.BuildDataset(cfg.TrainModels, cfg.Batches, cfg.Reps)
+	if err != nil {
+		return nil, err
+	}
+
+	for _, pol := range characterize.Objectives() {
+		c := cfg.BuildClassifier(cfg.Seed)
+		if err := c.Fit(s.dataset.X, s.dataset.Y[pol]); err != nil {
+			return nil, fmt.Errorf("core: training %s classifier: %w", pol, err)
+		}
+		s.classifiers[pol] = c
+		if cfg.EvaluateCV {
+			m, err := mlsched.CrossValidate(func() mlsched.Classifier { return cfg.BuildClassifier(cfg.Seed) },
+				s.dataset.X, s.dataset.Y[pol], 5, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			s.cvMetrics[pol] = m
+		}
+	}
+	s.stats.PerDevice = map[string]int{}
+	s.stats.PerPolicy = map[Policy]int{}
+	return s, nil
+}
+
+// Runtime exposes the underlying OpenCL runtime.
+func (s *Scheduler) Runtime() *opencl.Runtime { return s.rt }
+
+// Dispatcher exposes the Fig. 2 dispatcher.
+func (s *Scheduler) Dispatcher() *Dispatcher { return s.disp }
+
+// Dataset returns the training corpus the scheduler was fitted on.
+func (s *Scheduler) Dataset() *characterize.LabeledSet { return s.dataset }
+
+// CVMetrics returns per-policy cross-validation metrics (only populated
+// when Config.EvaluateCV was set).
+func (s *Scheduler) CVMetrics() map[Policy]mlsched.Metrics { return s.cvMetrics }
+
+// Classifier returns the trained selector for a policy.
+func (s *Scheduler) Classifier(p Policy) mlsched.Classifier { return s.classifiers[p] }
+
+// Devices lists device names in class order.
+func (s *Scheduler) Devices() []string {
+	out := make([]string, len(s.devices))
+	for i, d := range s.devices {
+		out[i] = d.Name()
+	}
+	return out
+}
+
+// LoadModel runs the Fig. 2 dispatcher cycle for a model, making it
+// schedulable. Models may be added at any time — the classifier
+// generalises to architectures it has never measured (§VI, Fig. 6).
+func (s *Scheduler) LoadModel(spec *nn.Spec, seed int64) error {
+	_, err := s.disp.Load(spec, seed)
+	return err
+}
+
+// Retrain extends the characterisation corpus with additional measured
+// architectures and refits every policy's classifier — the paper's
+// "able to learn and extract knowledge from a dataset" property (§V-A):
+// when a new model family matters enough, measure it and fold it in.
+// Existing decisions statistics and device state are preserved.
+func (s *Scheduler) Retrain(extra []*nn.Spec) error {
+	if len(extra) == 0 {
+		return fmt.Errorf("core: Retrain needs at least one new architecture")
+	}
+	seen := map[string]bool{}
+	for _, spec := range s.cfg.TrainModels {
+		seen[spec.Name] = true
+	}
+	specs := append([]*nn.Spec(nil), s.cfg.TrainModels...)
+	for _, spec := range extra {
+		if seen[spec.Name] {
+			return fmt.Errorf("core: architecture %q already in the training corpus", spec.Name)
+		}
+		seen[spec.Name] = true
+		specs = append(specs, spec)
+	}
+	sweeper := &characterize.Sweeper{Noise: s.cfg.Noise, Seed: s.cfg.Seed}
+	for _, d := range s.cfg.Devices {
+		sweeper.Profiles = append(sweeper.Profiles, d.Profile())
+	}
+	set, err := sweeper.BuildDataset(specs, s.cfg.Batches, s.cfg.Reps)
+	if err != nil {
+		return err
+	}
+	fresh := map[Policy]mlsched.Classifier{}
+	for _, pol := range characterize.Objectives() {
+		c := s.cfg.BuildClassifier(s.cfg.Seed)
+		if err := c.Fit(set.X, set.Y[pol]); err != nil {
+			return fmt.Errorf("core: retraining %s classifier: %w", pol, err)
+		}
+		fresh[pol] = c
+	}
+	// Commit atomically only after every policy retrained.
+	s.mu.Lock()
+	s.cfg.TrainModels = specs
+	s.dataset = set
+	for pol, c := range fresh {
+		s.classifiers[pol] = c
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// probeGPU performs the paper's PCIe state probe. Systems without a
+// boosted device report warm (no cold-clock penalty exists).
+func (s *Scheduler) probeGPU(now time.Duration) bool {
+	if s.dgpu == nil {
+		return true
+	}
+	return s.dgpu.StateAt(now).Warm
+}
+
+// Select chooses the device for one request at virtual time now, without
+// executing it.
+func (s *Scheduler) Select(model string, batch int, pol Policy, now time.Duration) (Decision, error) {
+	t0 := time.Now()
+	if batch <= 0 {
+		return Decision{}, fmt.Errorf("core: batch size must be positive, got %d", batch)
+	}
+	spec, err := s.disp.Spec(model)
+	if err != nil {
+		return Decision{}, err
+	}
+	clf, ok := s.classifiers[pol]
+	if !ok {
+		return Decision{}, fmt.Errorf("core: unknown policy %v", pol)
+	}
+	warm := s.probeGPU(now)
+	feats := characterize.Features(spec.Descriptor(), batch, warm)
+
+	// Preference order: the classifier's ranking when available,
+	// otherwise the argmax followed by the remaining classes.
+	var order []int
+	if r, ok := clf.(mlsched.Ranker); ok {
+		order = r.Rank(feats)
+	} else {
+		first := clf.Predict(feats)
+		order = append(order, first)
+		for c := range s.devices {
+			if c != first {
+				order = append(order, c)
+			}
+		}
+	}
+	if len(order) == 0 || order[0] >= len(s.devices) {
+		return Decision{}, fmt.Errorf("core: classifier ranked invalid class for %s", model)
+	}
+
+	// Online adaptation: spill to the next-ranked device if the choice
+	// is overloaded (queue beyond MaxQueueDelay) or flagged degraded by
+	// the health monitor (external interference, §I "system changes").
+	choice := order[0]
+	spilled := false
+	if s.cfg.MaxQueueDelay >= 0 {
+		healthyIdx := -1
+		for _, c := range order {
+			if c >= len(s.devices) {
+				continue
+			}
+			wait := s.devices[c].StateAt(now).BusyUntil - now
+			if wait > s.cfg.MaxQueueDelay {
+				continue
+			}
+			if s.health.degraded(s.devices[c].Name()) {
+				if healthyIdx == -1 {
+					healthyIdx = c // remember the best contended option
+				}
+				continue
+			}
+			healthyIdx = c
+			break
+		}
+		if healthyIdx >= 0 {
+			choice = healthyIdx
+			spilled = choice != order[0]
+		}
+	}
+
+	d := Decision{
+		Model:        model,
+		Batch:        batch,
+		Policy:       pol,
+		Class:        choice,
+		Device:       s.devices[choice].Name(),
+		GPUWarm:      warm,
+		Spilled:      spilled,
+		Features:     feats,
+		DecisionTime: time.Since(t0),
+	}
+	s.mu.Lock()
+	s.stats.Decisions++
+	if spilled {
+		s.stats.Spills++
+	}
+	s.stats.PerDevice[d.Device]++
+	s.stats.PerPolicy[pol]++
+	s.mu.Unlock()
+	s.recordAudit(d, now)
+	return d, nil
+}
+
+// Classify selects a device and executes the batch on it, returning both
+// the execution result (real classifications) and the decision taken.
+func (s *Scheduler) Classify(model string, in *tensor.Tensor, pol Policy, now time.Duration) (*opencl.Result, Decision, error) {
+	dec, err := s.Select(model, in.Dim(0), pol, now)
+	if err != nil {
+		return nil, Decision{}, err
+	}
+	res, err := s.rt.Classify(dec.Device, model, in, now)
+	if err != nil {
+		return nil, dec, err
+	}
+	return res, dec, nil
+}
+
+// Estimate selects a device and charges the batch without running the
+// math — the fast path for large simulated workloads.
+func (s *Scheduler) Estimate(model string, batch int, pol Policy, now time.Duration) (*opencl.Result, Decision, error) {
+	dec, err := s.Select(model, batch, pol, now)
+	if err != nil {
+		return nil, Decision{}, err
+	}
+	res, err := s.rt.Estimate(dec.Device, model, batch, now)
+	if err != nil {
+		return nil, dec, err
+	}
+	return res, dec, nil
+}
+
+// Stats returns a snapshot of scheduler activity.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := Stats{
+		Decisions: s.stats.Decisions,
+		Spills:    s.stats.Spills,
+		PerDevice: map[string]int{},
+		PerPolicy: map[Policy]int{},
+	}
+	for k, v := range s.stats.PerDevice {
+		out.PerDevice[k] = v
+	}
+	for k, v := range s.stats.PerPolicy {
+		out.PerPolicy[k] = v
+	}
+	return out
+}

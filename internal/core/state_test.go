@@ -1,0 +1,71 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"bomw/internal/characterize"
+	"bomw/internal/mlsched"
+	"bomw/internal/models"
+)
+
+func TestSaveLoadStateRoundTrip(t *testing.T) {
+	s := testScheduler(t)
+	var buf bytes.Buffer
+	if err := s.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadState(Config{}, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.LoadModel(models.MnistSmall(), 1); err != nil {
+		t.Fatal(err)
+	}
+	// The restored scheduler must make identical predictions.
+	for _, pol := range characterize.Objectives() {
+		for _, batch := range []int{2, 512, 65536} {
+			for _, warm := range []bool{false, true} {
+				feats := characterize.Features(models.MnistSmall().Descriptor(), batch, warm)
+				if s.Classifier(pol).Predict(feats) != restored.Classifier(pol).Predict(feats) {
+					t.Fatalf("%v batch %d warm=%t: restored prediction differs", pol, batch, warm)
+				}
+			}
+		}
+	}
+	// And it can schedule immediately.
+	dec, err := restored.Select("mnist-small", 4096, BestThroughput, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Device == "" {
+		t.Fatal("restored scheduler returned empty device")
+	}
+}
+
+func TestLoadStateRejectsGarbage(t *testing.T) {
+	if _, err := LoadState(Config{}, bytes.NewReader([]byte{1, 2, 3, 4, 5, 6, 7, 8})); err == nil {
+		t.Fatal("garbage state accepted")
+	}
+	if _, err := LoadState(Config{}, bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty state accepted")
+	}
+}
+
+func TestSaveStateRequiresForests(t *testing.T) {
+	s, err := New(Config{
+		TrainModels: models.PaperModels(),
+		Batches:     []int{8, 8192},
+		Reps:        1,
+		BuildClassifier: func(seed int64) mlsched.Classifier {
+			return mlsched.NewKNN(5)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.SaveState(&buf); err == nil {
+		t.Fatal("non-forest classifier serialised")
+	}
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Human-readable renderers for the scheduler's result types, shared by
+// the CLIs and examples.
+
+// String summarises a decision on one line.
+func (d Decision) String() string {
+	state := "cold"
+	if d.GPUWarm {
+		state = "warm"
+	}
+	spill := ""
+	if d.Spilled {
+		spill = " [spilled]"
+	}
+	return fmt.Sprintf("%s×%d under %s → %s (gpu %s)%s",
+		d.Model, d.Batch, d.Policy, d.Device, state, spill)
+}
+
+// String summarises a replay.
+func (r ReplayResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d requests, %d samples in %v: avg %v, p99 %v, max %v, %.1f J",
+		r.Requests, r.TotalSamples, r.Makespan.Round(time.Millisecond),
+		r.AvgLatency().Round(time.Microsecond),
+		r.Percentile(99).Round(time.Microsecond),
+		r.MaxLatency.Round(time.Microsecond), r.TotalEnergyJ)
+	if r.Spills > 0 {
+		fmt.Fprintf(&b, ", %d spills", r.Spills)
+	}
+	if len(r.PerDevice) > 0 {
+		fmt.Fprintf(&b, " — %s", renderPerDevice(r.PerDevice))
+	}
+	return b.String()
+}
+
+// String summarises scheduler activity.
+func (s Stats) String() string {
+	return fmt.Sprintf("%d decisions (%d spills) — %s",
+		s.Decisions, s.Spills, renderPerDevice(s.PerDevice))
+}
+
+// renderPerDevice renders device counts deterministically (sorted by
+// name) so logs and tests are stable.
+func renderPerDevice(m map[string]int) string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, n := range names {
+		parts = append(parts, fmt.Sprintf("%s:%d", n, m[n]))
+	}
+	return strings.Join(parts, " ")
+}

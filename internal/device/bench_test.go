@@ -1,0 +1,49 @@
+package device
+
+import (
+	"testing"
+
+	"bomw/internal/models"
+)
+
+func BenchmarkExecuteAggregate(b *testing.B) {
+	w := WorkloadOf(models.MnistSmall().MustBuild(1))
+	d := New(NvidiaGTX1080Ti())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Execute(0, w, 4096)
+	}
+}
+
+func BenchmarkExecutePerKernel(b *testing.B) {
+	net := models.Cifar10().MustBuild(1)
+	layers := LayerWorkloads(net)
+	d := New(NvidiaGTX1080Ti())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at := d.Transfer(0, 4096*12288).Start
+		for _, lw := range layers {
+			r := d.ExecuteCompute(at, lw, 4096)
+			at = r.Start + r.Latency
+		}
+	}
+}
+
+func BenchmarkStateProbe(b *testing.B) {
+	d := New(NvidiaGTX1080Ti())
+	d.Warm(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.StateAt(0)
+	}
+}
+
+func BenchmarkWorkloadOf(b *testing.B) {
+	net := models.Cifar10().MustBuild(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		WorkloadOf(net)
+	}
+}

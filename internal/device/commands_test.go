@@ -1,0 +1,135 @@
+package device
+
+import (
+	"testing"
+	"time"
+
+	"bomw/internal/models"
+)
+
+func TestLayerWorkloadsCoverNetwork(t *testing.T) {
+	net := models.MnistCNN().MustBuild(1)
+	agg := WorkloadOf(net)
+	layers := LayerWorkloads(net)
+	if len(layers) != agg.Kernels {
+		t.Fatalf("layer workloads = %d, aggregate kernels = %d", len(layers), agg.Kernels)
+	}
+	var flops, items, weights int64
+	for _, lw := range layers {
+		if lw.Kernels != 1 {
+			t.Fatalf("per-layer workload must have one kernel, got %d", lw.Kernels)
+		}
+		if lw.AvgLayerWidth != lw.ItemsPerSample {
+			t.Fatal("per-layer width must equal its item count")
+		}
+		flops += lw.FlopsPerSample
+		items += lw.ItemsPerSample
+		weights += lw.WeightBytes
+	}
+	if flops != agg.FlopsPerSample {
+		t.Fatalf("layer flops sum %d != aggregate %d", flops, agg.FlopsPerSample)
+	}
+	if items != agg.ItemsPerSample {
+		t.Fatalf("layer items sum %d != aggregate %d", items, agg.ItemsPerSample)
+	}
+	if weights != agg.WeightBytes {
+		t.Fatalf("layer weights sum %d != aggregate %d", weights, agg.WeightBytes)
+	}
+}
+
+func TestPerCommandPathMatchesAggregate(t *testing.T) {
+	// The decomposed path (transfer in + per-layer kernels + transfer out)
+	// must track the aggregate Execute within a small factor: it is the
+	// same physics charged per command.
+	for _, spec := range models.PaperModels() {
+		net := spec.MustBuild(1)
+		agg := WorkloadOf(net)
+		layers := LayerWorkloads(net)
+		for _, n := range []int{16, 4096} {
+			whole := New(NvidiaGTX1080Ti())
+			whole.Warm(0)
+			total := whole.Execute(0, agg, n).Latency
+
+			split := New(NvidiaGTX1080Ti())
+			split.Warm(0)
+			at := time.Duration(0)
+			r := split.Transfer(at, int64(n)*agg.SampleBytes)
+			at = r.Start + r.Latency
+			for _, lw := range layers {
+				r = split.ExecuteCompute(at, lw, n)
+				at = r.Start + r.Latency
+			}
+			r = split.Transfer(at, int64(n)*agg.OutputBytes)
+			sum := r.Start + r.Latency
+
+			ratio := float64(sum) / float64(total)
+			if ratio < 0.4 || ratio > 2.5 {
+				t.Fatalf("%s batch %d: per-command %v vs aggregate %v (%.2fx)",
+					spec.Name, n, sum, total, ratio)
+			}
+		}
+	}
+}
+
+func TestExecuteComputeQueuesAndWarms(t *testing.T) {
+	d := New(NvidiaGTX1080Ti())
+	w := testWorkload()
+	w.FlopsPerSample = 10_000_000
+	r1 := d.ExecuteCompute(0, w, 4096)
+	r2 := d.ExecuteCompute(0, w, 4096)
+	if r2.QueueDelay != r1.Latency {
+		t.Fatalf("kernel did not queue: delay %v, want %v", r2.QueueDelay, r1.Latency)
+	}
+	if r2.ClockFrac <= r1.ClockFrac {
+		t.Fatal("second kernel should see warmer clocks")
+	}
+	if r1.Transfer != 0 {
+		t.Fatal("ExecuteCompute must not charge transfers")
+	}
+}
+
+func TestExecuteComputePanicsOnBadBatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ExecuteCompute(n=-1) did not panic")
+		}
+	}()
+	New(IntelCoreI7_8700()).ExecuteCompute(0, testWorkload(), -1)
+}
+
+func TestTransferUnifiedMemoryFree(t *testing.T) {
+	for _, p := range []Profile{IntelCoreI7_8700(), IntelUHD630()} {
+		r := New(p).Transfer(0, 1<<20)
+		if r.Latency != 0 || r.EnergyJ() != 0 {
+			t.Fatalf("%s: unified-memory transfer should be free, got %v/%gJ", p.Name, r.Latency, r.EnergyJ())
+		}
+	}
+}
+
+func TestTransferDiscreteCharges(t *testing.T) {
+	d := New(NvidiaGTX1080Ti())
+	small := d.Transfer(0, 64)
+	if small.Latency <= d.Profile().PCIeLatency {
+		t.Fatalf("transfer latency %v should exceed the fixed PCIe latency", small.Latency)
+	}
+	big := d.Transfer(small.Start+small.Latency, 1<<30)
+	if big.Latency <= small.Latency {
+		t.Fatal("1 GiB transfer should dwarf a 64 B transfer")
+	}
+	if big.EnergyJ() <= 0 {
+		t.Fatal("transfer should consume energy")
+	}
+	// Zero-byte transfer is free even on PCIe devices.
+	if r := d.Transfer(0, 0); r.Latency != 0 {
+		t.Fatalf("zero-byte transfer charged %v", r.Latency)
+	}
+}
+
+func TestTransferPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Transfer(-1) did not panic")
+		}
+	}()
+	New(NvidiaGTX1080Ti()).Transfer(0, -1)
+}

@@ -1,0 +1,39 @@
+package device
+
+import "fmt"
+
+// External interference models the paper's "system changes" (§I): another
+// tenant sharing a device — a game on the dGPU, a compile job on the CPU
+// — slows kernels down by a factor the scheduler cannot see directly, only
+// observe through degraded latencies. Transfers are unaffected (PCIe is
+// not the contended resource in this model).
+
+// SetSlowdown applies an external contention multiplier to all subsequent
+// compute on the device. factor = 1 means no interference; 2 halves the
+// effective compute rate. Panics on factors below 1.
+func (d *Device) SetSlowdown(factor float64) {
+	if factor < 1 {
+		panic(fmt.Sprintf("device: slowdown factor %g < 1", factor))
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.slowdown = factor
+}
+
+// Slowdown returns the current interference factor.
+func (d *Device) Slowdown() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.slowdown == 0 {
+		return 1
+	}
+	return d.slowdown
+}
+
+// slowdownLocked returns the factor with the zero value meaning 1.
+func (d *Device) slowdownLocked() float64 {
+	if d.slowdown == 0 {
+		return 1
+	}
+	return d.slowdown
+}

@@ -1,0 +1,240 @@
+package device
+
+import (
+	"testing"
+	"time"
+
+	"bomw/internal/models"
+)
+
+// The tests in this file encode the acceptance checks of DESIGN.md §3:
+// the qualitative shapes of the paper's Fig. 3 and Fig. 4 must hold on the
+// calibrated device models. Crossover points are asserted to bracket the
+// paper's values within one order of magnitude, per the reproduction rule
+// ("who wins, by roughly what factor, where crossovers fall").
+
+// latencyAt runs one batch on a fresh device, optionally pre-warmed.
+func latencyAt(p Profile, warm bool, w Workload, n int) time.Duration {
+	d := New(p)
+	if warm {
+		d.Warm(0)
+	}
+	return d.Execute(0, w, n).Latency
+}
+
+func workloadFor(t *testing.T, name string) Workload {
+	t.Helper()
+	spec, err := models.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return WorkloadOf(spec.MustBuild(1))
+}
+
+// crossover returns the smallest batch in sizes where the dGPU beats the
+// CPU, or -1 if the CPU wins everywhere.
+func crossover(t *testing.T, w Workload, warm bool, sizes []int) int {
+	t.Helper()
+	cpu := IntelCoreI7_8700()
+	gpu := NvidiaGTX1080Ti()
+	for _, n := range sizes {
+		if latencyAt(gpu, warm, w, n) < latencyAt(cpu, true, w, n) {
+			return n
+		}
+	}
+	return -1
+}
+
+var sweepSizes = []int{2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536, 131072, 262144}
+
+func TestFig3aSimpleCrossovers(t *testing.T) {
+	w := workloadFor(t, "simple")
+	warm := crossover(t, w, true, sweepSizes)
+	// Paper: CPU wins up to 2048 against a warm GPU. Accept within one
+	// order of magnitude: crossover in [512, 32768].
+	if warm < 512 || warm > 32768 {
+		t.Fatalf("simple warm crossover at %d, paper ≈2048", warm)
+	}
+	// Paper: against an idle-start GPU the CPU wins at every tested size.
+	if idle := crossover(t, w, false, sweepSizes); idle != -1 {
+		t.Fatalf("simple idle crossover at %d, paper: CPU wins everywhere", idle)
+	}
+}
+
+func TestFig3eCifarCrossovers(t *testing.T) {
+	w := workloadFor(t, "cifar-10")
+	warm := crossover(t, w, true, sweepSizes)
+	if warm == -1 || warm < 2 || warm > 64 {
+		t.Fatalf("cifar warm crossover at %d, paper ≈8", warm)
+	}
+	idle := crossover(t, w, false, sweepSizes)
+	if idle == -1 || idle < 16 || idle > 1024 {
+		t.Fatalf("cifar idle crossover at %d, paper ≈128", idle)
+	}
+	if idle <= warm {
+		t.Fatalf("idle crossover (%d) must come later than warm (%d)", idle, warm)
+	}
+}
+
+func TestFig3cMnistDeepCrossoverSmall(t *testing.T) {
+	w := workloadFor(t, "mnist-deep")
+	warm := crossover(t, w, true, sweepSizes)
+	idle := crossover(t, w, false, sweepSizes)
+	// Paper: CPU wins only up to ≈8 regardless of GPU state.
+	if warm == -1 || warm > 64 {
+		t.Fatalf("mnist-deep warm crossover at %d, paper ≈8", warm)
+	}
+	if idle == -1 || idle > 128 {
+		t.Fatalf("mnist-deep idle crossover at %d, paper ≈8", idle)
+	}
+}
+
+func TestFig3bIdleConvergesToWarm(t *testing.T) {
+	// Paper (Fig. 3b): past batch ≈512 the idle-start GPU's latency grows
+	// better than linearly until it matches the warm GPU at ≥64K samples.
+	w := workloadFor(t, "mnist-small")
+	gpu := NvidiaGTX1080Ti()
+	smallRatio := float64(latencyAt(gpu, false, w, 256)) / float64(latencyAt(gpu, true, w, 256))
+	bigRatio := float64(latencyAt(gpu, false, w, 131072)) / float64(latencyAt(gpu, true, w, 131072))
+	if smallRatio < 2 {
+		t.Fatalf("idle penalty at small batch should be large, got %.2fx", smallRatio)
+	}
+	if bigRatio > 1.3 {
+		t.Fatalf("idle and warm must converge at 128K samples, got %.2fx", bigRatio)
+	}
+	if bigRatio >= smallRatio {
+		t.Fatal("idle/warm ratio must shrink with batch size")
+	}
+}
+
+func TestFig3ThroughputSpans(t *testing.T) {
+	// Paper: dGPU peak throughput spans ≈0.8–20 Gbit/s across models and
+	// the CPU ≈0.05–15 Gbit/s. Require the same relative spread (>10x
+	// between the best and worst model) and peaks within ~3x of the paper.
+	maxOf := func(p Profile) (lo, hi float64) {
+		lo = 1e18
+		for _, spec := range models.PaperModels() {
+			w := WorkloadOf(spec.MustBuild(1))
+			best := 0.0
+			for _, n := range sweepSizes {
+				d := New(p)
+				d.Warm(0)
+				r := d.Execute(0, w, n)
+				if g := r.ThroughputGbps(w.SampleBytes); g > best {
+					best = g
+				}
+			}
+			if best < lo {
+				lo = best
+			}
+			if best > hi {
+				hi = best
+			}
+		}
+		return lo, hi
+	}
+	gLo, gHi := maxOf(NvidiaGTX1080Ti())
+	cLo, cHi := maxOf(IntelCoreI7_8700())
+	if gHi < 7 || gHi > 60 {
+		t.Fatalf("dGPU peak %.1f Gbit/s, paper ≈20", gHi)
+	}
+	if gHi/gLo < 5 {
+		t.Fatalf("dGPU peak spread %.1fx too narrow (paper 25x)", gHi/gLo)
+	}
+	if cHi < 2 || cHi > 45 {
+		t.Fatalf("CPU peak %.1f Gbit/s, paper ≈15", cHi)
+	}
+	if cHi/cLo < 10 {
+		t.Fatalf("CPU peak spread %.1fx too narrow (paper 300x)", cHi/cLo)
+	}
+	if gHi <= cHi {
+		t.Fatal("dGPU peak must exceed CPU peak")
+	}
+}
+
+func TestFig4IdleStartAlwaysCostsMoreEnergy(t *testing.T) {
+	// Paper: "when the GPU starts from an idle state, it always consumes
+	// more energy in all the machine learning models".
+	for _, spec := range models.PaperModels() {
+		w := WorkloadOf(spec.MustBuild(1))
+		for _, n := range []int{8, 512, 32768} {
+			cold := New(NvidiaGTX1080Ti())
+			warm := New(NvidiaGTX1080Ti())
+			warm.Warm(0)
+			ec := cold.Execute(0, w, n).EnergyJ()
+			ew := warm.Execute(0, w, n).EnergyJ()
+			if ec <= ew {
+				t.Fatalf("%s batch %d: cold %gJ ≤ warm %gJ", spec.Name, n, ec, ew)
+			}
+		}
+	}
+}
+
+func TestFig4NoDeviceRulesThemAll(t *testing.T) {
+	// Paper: "there is no device to rule them all" — the energy-best
+	// device must change across (model, batch, state) configurations.
+	winners := map[string]bool{}
+	for _, spec := range models.PaperModels() {
+		w := WorkloadOf(spec.MustBuild(1))
+		for _, n := range []int{2, 64, 4096, 262144} {
+			for _, gpuWarm := range []bool{false, true} {
+				bestD, bestE := "", 0.0
+				for _, p := range DefaultProfiles() {
+					d := New(p)
+					if gpuWarm {
+						d.Warm(0)
+					}
+					e := d.Execute(0, w, n).EnergyJ()
+					if bestD == "" || e < bestE {
+						bestD, bestE = p.Name, e
+					}
+				}
+				winners[bestD] = true
+			}
+		}
+	}
+	if len(winners) < 2 {
+		t.Fatalf("a single device wins every energy configuration: %v", winners)
+	}
+}
+
+func TestFig4WarmGPUBeatsIGPUOnBigBatches(t *testing.T) {
+	// Paper (Fig. 4b): for mid-size batches the iGPU is the most
+	// energy-efficient device when the dGPU is cold, but the warmed dGPU
+	// takes over.
+	w := workloadFor(t, "mnist-small")
+	n := 2048
+	igpu := New(IntelUHD630()).Execute(0, w, n).EnergyJ()
+	cold := New(NvidiaGTX1080Ti()).Execute(0, w, n).EnergyJ()
+	warmDev := New(NvidiaGTX1080Ti())
+	warmDev.Warm(0)
+	warm := warmDev.Execute(0, w, n).EnergyJ()
+	if !(igpu < cold) {
+		t.Fatalf("iGPU (%gJ) should beat a cold dGPU (%gJ) at batch %d", igpu, cold, n)
+	}
+	if !(warm < igpu) {
+		t.Fatalf("a warm dGPU (%gJ) should beat the iGPU (%gJ) at batch %d", warm, igpu, n)
+	}
+}
+
+func TestWorkloadOfPaperModels(t *testing.T) {
+	for _, spec := range models.PaperModels() {
+		w := WorkloadOf(spec.MustBuild(1))
+		if w.Model != spec.Name {
+			t.Fatalf("workload model %q", w.Model)
+		}
+		if w.FlopsPerSample <= 0 || w.ItemsPerSample <= 0 || w.Kernels <= 0 || w.AvgLayerWidth <= 0 {
+			t.Fatalf("%s: degenerate workload %+v", spec.Name, w)
+		}
+		if w.WeightBytes != spec.MustBuild(1).ParamBytes() {
+			t.Fatalf("%s: weight bytes mismatch", spec.Name)
+		}
+	}
+	// Kernel counts: FFNN = layers; CNN = convs + pools + dense.
+	if w := workloadFor(t, "simple"); w.Kernels != 3 {
+		t.Fatalf("simple kernels = %d, want 3", w.Kernels)
+	}
+	if w := workloadFor(t, "cifar-10"); w.Kernels != 6+3+2 {
+		t.Fatalf("cifar kernels = %d, want 11", w.Kernels)
+	}
+}

@@ -1,0 +1,174 @@
+// Package device models the three heterogeneous processors of the paper's
+// testbed (§III-A) — the Intel i7-8700 CPU, its integrated UHD Graphics 630
+// GPU, and a discrete NVIDIA GTX 1080 Ti — as calibrated analytical cost
+// models over a virtual clock.
+//
+// The tensor math of a classification batch really executes on the host
+// (internal/opencl drives it); this package decides how long that batch is
+// charged to take on each simulated device, and how many Joules it draws,
+// using first-order architectural physics:
+//
+//   - a roofline of peak FLOP/s versus memory bandwidth, with weight-reuse
+//     factors standing in for caches and warp-level broadcast;
+//   - per-kernel launch overhead and per-work-group dispatch cost
+//     (OpenCL's clEnqueueNDRangeKernel structure, §IV-B);
+//   - a PCIe transfer model whose effective bandwidth ramps with transfer
+//     size (the paper's "PCIe cannot handle small transfers" observation,
+//     §II-A) — discrete GPU only;
+//   - a GPU Boost 3.0 clock state machine: the discrete GPU starts at a
+//     fraction of its boost clock and warms with accumulated busy time,
+//     cooling back down when idle (footnote 1 of the paper);
+//   - an idle/active power model with host-assist power, so dGPU runs are
+//     charged for the CPU work that feeds them (§IV-C).
+//
+// All constants live in Profile values so alternative devices (FPGAs,
+// NPUs, DSPs — the paper's device-agnostic claim) are just new profiles.
+package device
+
+import "time"
+
+// Kind classifies a processing device.
+type Kind int
+
+const (
+	// CPU is a multi-core host processor.
+	CPU Kind = iota
+	// IntegratedGPU shares the host memory controller and LLC (§II-A).
+	IntegratedGPU
+	// DiscreteGPU communicates with the host over PCIe.
+	DiscreteGPU
+	// Accelerator is any other co-processor (FPGA, NPU, DSP).
+	Accelerator
+)
+
+// String returns a short device-kind name.
+func (k Kind) String() string {
+	switch k {
+	case CPU:
+		return "cpu"
+	case IntegratedGPU:
+		return "igpu"
+	case DiscreteGPU:
+		return "dgpu"
+	case Accelerator:
+		return "accel"
+	default:
+		return "unknown"
+	}
+}
+
+// Profile holds every calibration constant of one device's cost model.
+type Profile struct {
+	Name string
+	Kind Kind
+
+	// Compute.
+	PeakGFLOPS    float64 // sustained fp32 throughput at boost clocks
+	ParallelWidth int     // concurrent work-items needed to saturate the device
+	WorkGroupSize int     // preferred work-items per work-group (§IV-B)
+	PerItemNs     float64 // per-work-item dispatch overhead, ns
+	PerGroupNs    float64 // per-work-group scheduling overhead, ns
+	KernelLaunch  time.Duration
+
+	// Memory.
+	MemBandwidthGBs float64 // device global-memory bandwidth
+	CacheBytes      int64   // last-level cache available to kernels
+	WeightReuse     float64 // effective reuse of streamed weights
+	// (SIMD lanes / warp broadcast across samples)
+
+	// Host interconnect. Zero PCIe bandwidth means unified memory
+	// (clEnqueueMapBuffer zero-copy, §IV-B).
+	PCIeGBs       float64
+	PCIeLatency   time.Duration // fixed cost per transfer direction
+	PCIeRampBytes int64         // transfer size at which half of peak BW is reached
+
+	// Power.
+	IdleWatts   float64 // device drawing no work
+	ActiveWatts float64 // device at full utilisation and full clocks
+	HostWatts   float64 // host-side orchestration power while this device runs
+
+	// Boost clock state machine (discrete GPUs).
+	HasBoost   bool
+	IdleClock  float64       // fraction of boost clocks when cold, (0,1]
+	WarmupBusy time.Duration // accumulated busy time to reach full boost
+	Cooldown   time.Duration // idle time to fall back to cold clocks
+}
+
+// IntelCoreI7_8700 models the paper's host CPU: 6 cores / 12 threads at
+// 3.7 GHz with AVX2, 12 MB shared L3, dual-channel DDR4-2666 at 41.6 GB/s,
+// 95 W TDP.
+func IntelCoreI7_8700() Profile {
+	return Profile{
+		Name:            "i7-8700 CPU",
+		Kind:            CPU,
+		PeakGFLOPS:      300,
+		ParallelWidth:   96, // 12 hardware threads × 8 SIMD lanes
+		WorkGroupSize:   4096,
+		PerItemNs:       1.1,
+		PerGroupNs:      400,
+		KernelLaunch:    3 * time.Microsecond,
+		MemBandwidthGBs: 41.6,
+		CacheBytes:      12 << 20,
+		WeightReuse:     12,
+		IdleWatts:       8,
+		ActiveWatts:     95,
+		HostWatts:       0, // the CPU is the host
+	}
+}
+
+// IntelUHD630 models the integrated GPU on the same die: 24 execution
+// units, 460.8 GFLOPS at 1200 MHz, sharing the LLC and memory controller
+// with the CPU (§III-A), TDP estimated near 20 W.
+func IntelUHD630() Profile {
+	return Profile{
+		Name:            "UHD Graphics 630",
+		Kind:            IntegratedGPU,
+		PeakGFLOPS:      460.8,
+		ParallelWidth:   1344, // 24 EUs × 7 threads × SIMD8
+		WorkGroupSize:   256,
+		PerItemNs:       0.12,
+		PerGroupNs:      250,
+		KernelLaunch:    14 * time.Microsecond,
+		MemBandwidthGBs: 41.6, // shared with the CPU
+		CacheBytes:      768 << 10,
+		WeightReuse:     8,
+		IdleWatts:       1.5,
+		ActiveWatts:     20,
+		HostWatts:       10, // CPU feeding the shared queue
+	}
+}
+
+// NvidiaGTX1080Ti models the discrete GPU: 3584 cores in 28 SMs,
+// 10.6 TFLOPS, 11 GB GDDR5X at 484 GB/s, 250 W TDP, PCIe 3.0 ×16, with
+// GPU Boost 3.0 clock scaling (footnote 1).
+func NvidiaGTX1080Ti() Profile {
+	return Profile{
+		Name:            "GTX 1080 Ti",
+		Kind:            DiscreteGPU,
+		PeakGFLOPS:      10600,
+		ParallelWidth:   57344, // 28 SMs × 2048 resident threads
+		WorkGroupSize:   256,
+		PerItemNs:       0.02,
+		PerGroupNs:      110,
+		KernelLaunch:    40 * time.Microsecond,
+		MemBandwidthGBs: 484,
+		CacheBytes:      3 << 20,
+		WeightReuse:     32, // warp-level broadcast of weight rows
+		PCIeGBs:         12,
+		PCIeLatency:     12 * time.Microsecond,
+		PCIeRampBytes:   256 << 10,
+		IdleWatts:       52,
+		ActiveWatts:     230,
+		HostWatts:       25, // data collection, DMA setup, kernel spawn
+		HasBoost:        true,
+		IdleClock:       0.12,
+		WarmupBusy:      60 * time.Millisecond,
+		Cooldown:        2 * time.Second,
+	}
+}
+
+// DefaultProfiles returns the paper's three devices in scheduler class
+// order (CPU, dGPU, iGPU would be arbitrary; we keep CPU, iGPU, dGPU).
+func DefaultProfiles() []Profile {
+	return []Profile{IntelCoreI7_8700(), IntelUHD630(), NvidiaGTX1080Ti()}
+}

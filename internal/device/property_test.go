@@ -1,0 +1,138 @@
+package device
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// Property-based checks on the cost models: for arbitrary (bounded)
+// workloads and batch sizes, the physics must stay sane.
+
+func boundedWorkload(flops, bytes, items uint16) Workload {
+	return Workload{
+		Model:           "prop",
+		FlopsPerSample:  1 + int64(flops),
+		SampleBytes:     4 * (1 + int64(bytes)%1024),
+		OutputBytes:     4,
+		WeightBytes:     int64(bytes) * 64,
+		ActivationBytes: int64(bytes) % 4096,
+		ItemsPerSample:  1 + int64(items)%1024,
+		Kernels:         1 + int(items)%7,
+		AvgLayerWidth:   1 + int64(items)%512,
+	}
+}
+
+func TestPropertyLatencyEnergyPositive(t *testing.T) {
+	f := func(flops, bytes, items uint16, nRaw uint16) bool {
+		n := 1 + int(nRaw)%100000
+		w := boundedWorkload(flops, bytes, items)
+		for _, p := range DefaultProfiles() {
+			r := New(p).Execute(0, w, n)
+			if r.Latency <= 0 || r.EnergyJ() <= 0 {
+				return false
+			}
+			if r.Utilization <= 0 || r.Utilization > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMoreWorkNeverFaster(t *testing.T) {
+	f := func(flops, bytes, items uint16, nRaw uint16) bool {
+		n := 1 + int(nRaw)%50000
+		w := boundedWorkload(flops, bytes, items)
+		for _, p := range DefaultProfiles() {
+			a := New(p).Execute(0, w, n).Latency
+			b := New(p).Execute(0, w, 2*n).Latency
+			if b < a {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyColdNeverFasterThanWarm(t *testing.T) {
+	f := func(flops, bytes, items uint16, nRaw uint16) bool {
+		n := 1 + int(nRaw)%100000
+		w := boundedWorkload(flops, bytes, items)
+		cold := New(NvidiaGTX1080Ti())
+		warm := New(NvidiaGTX1080Ti())
+		warm.Warm(0)
+		rc := cold.Execute(0, w, n)
+		rw := warm.Execute(0, w, n)
+		return rc.Latency >= rw.Latency && rc.EnergyJ() >= rw.EnergyJ()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyQueueConservation(t *testing.T) {
+	// Back-to-back submissions must serialise without gaps or overlap.
+	f := func(flops, bytes, items uint16) bool {
+		w := boundedWorkload(flops, bytes, items)
+		d := New(IntelUHD630())
+		var end time.Duration
+		for i := 0; i < 5; i++ {
+			r := d.Execute(0, w, 64)
+			if r.Start != end {
+				return false
+			}
+			end = r.Start + r.Latency
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyEnergyAdditiveOverSplit(t *testing.T) {
+	// Charging one batch of 2n must not cost more energy than two
+	// batches of n (fixed costs amortise; never the other way).
+	f := func(flops, bytes, items uint16, nRaw uint16) bool {
+		n := 1 + int(nRaw)%10000
+		w := boundedWorkload(flops, bytes, items)
+		for _, p := range []Profile{IntelCoreI7_8700(), IntelUHD630()} {
+			whole := New(p).Execute(0, w, 2*n).EnergyJ()
+			d := New(p)
+			split := d.Execute(0, w, n).EnergyJ() + d.Execute(0, w, n).EnergyJ()
+			if whole > split*1.0001 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyBoostIntegrateConsistency(t *testing.T) {
+	// Stretching work through the boost ramp never shortens it, and warm
+	// devices run 1:1.
+	d := New(NvidiaGTX1080Ti())
+	f := func(ms uint16, fracRaw uint8) bool {
+		work := time.Duration(1+int(ms)%5000) * time.Millisecond
+		frac := d.prof.IdleClock + (1-d.prof.IdleClock)*float64(fracRaw)/255
+		wall, credit := d.boostIntegrate(work, frac)
+		if wall < work || credit != wall {
+			return false
+		}
+		full, _ := d.boostIntegrate(work, 1)
+		return full == work
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,139 @@
+package device
+
+import (
+	"fmt"
+	"time"
+)
+
+// §I names "changes to a processor's clock frequency" among the dynamic
+// fluctuations the scheduler must survive. Two mechanisms produce them:
+//
+//   - a DVFS governor: the operating system (or a power cap) rescales a
+//     device's clocks and voltage, trading speed for watts;
+//   - thermal throttling: sustained load exhausts the thermal budget and
+//     the device drops below its sustained clocks until it cools.
+//
+// Both are opt-in: DefaultProfiles ship with no thermal limit and the
+// performance governor, matching the paper's testbed conditions.
+
+// Thermal extends a Profile with a leaky-bucket heat model. Heat
+// accumulates during busy time and drains when idle; when the bucket is
+// full the device runs at ThrottleClock of its normal speed.
+type Thermal struct {
+	// Window is the bucket capacity expressed as busy time at full
+	// power; zero disables throttling.
+	Window time.Duration
+	// DrainRate is how fast heat drains relative to its accumulation
+	// (1 = idle drains as fast as busy fills). Defaults to 0.5.
+	DrainRate float64
+	// ThrottleClock is the clock fraction under full throttle, (0, 1].
+	ThrottleClock float64
+}
+
+// SetThermal installs (or clears, with a zero Window) the thermal model.
+func (d *Device) SetThermal(t Thermal) error {
+	if t.Window < 0 {
+		return fmt.Errorf("device: negative thermal window")
+	}
+	if t.Window > 0 && (t.ThrottleClock <= 0 || t.ThrottleClock > 1) {
+		return fmt.Errorf("device: throttle clock %g outside (0,1]", t.ThrottleClock)
+	}
+	if t.DrainRate <= 0 {
+		t.DrainRate = 0.5
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.thermal = t
+	d.heat = 0
+	return nil
+}
+
+// thermalFactorLocked returns the current clock multiplier in
+// [ThrottleClock, 1] and assumes the heat state is already drained to
+// time now.
+func (d *Device) thermalFactorLocked() float64 {
+	if d.thermal.Window <= 0 {
+		return 1
+	}
+	fill := float64(d.heat) / float64(d.thermal.Window)
+	if fill > 1 {
+		fill = 1
+	}
+	return 1 - fill*(1-d.thermal.ThrottleClock)
+}
+
+// heatAfterLocked charges busy time into the bucket.
+func (d *Device) heatAfterLocked(busy time.Duration) {
+	if d.thermal.Window <= 0 {
+		return
+	}
+	d.heat += busy
+	if d.heat > d.thermal.Window {
+		d.heat = d.thermal.Window
+	}
+}
+
+// coolHeatLocked drains the bucket for an idle gap.
+func (d *Device) coolHeatLocked(idle time.Duration) {
+	if d.thermal.Window <= 0 || d.heat == 0 || idle <= 0 {
+		return
+	}
+	d.heat -= time.Duration(float64(idle) * d.thermal.DrainRate)
+	if d.heat < 0 {
+		d.heat = 0
+	}
+}
+
+// ThermalFill reports the heat bucket's fill fraction as it would stand
+// at time now (0 = cold, 1 = fully throttled). Pure probe: no state is
+// committed.
+func (d *Device) ThermalFill(now time.Duration) float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.thermal.Window <= 0 {
+		return 0
+	}
+	heat := d.heat
+	if idle := now - d.lastEnd; idle > 0 {
+		heat -= time.Duration(float64(idle) * d.thermal.DrainRate)
+		if heat < 0 {
+			heat = 0
+		}
+	}
+	fill := float64(heat) / float64(d.thermal.Window)
+	if fill > 1 {
+		fill = 1
+	}
+	return fill
+}
+
+// SetGovernor applies a DVFS operating point: clockScale rescales the
+// device's effective compute rate, powerScale its active power. The
+// performance governor is (1, 1); a powersave governor might be
+// (0.6, 0.45). Both must be in (0, 1].
+func (d *Device) SetGovernor(clockScale, powerScale float64) error {
+	if clockScale <= 0 || clockScale > 1 || powerScale <= 0 || powerScale > 1 {
+		return fmt.Errorf("device: governor scales (%g, %g) outside (0,1]", clockScale, powerScale)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.govClock = clockScale
+	d.govPower = powerScale
+	return nil
+}
+
+// govClockLocked returns the governor clock multiplier (1 when unset).
+func (d *Device) govClockLocked() float64 {
+	if d.govClock == 0 {
+		return 1
+	}
+	return d.govClock
+}
+
+// govPowerLocked returns the governor power multiplier (1 when unset).
+func (d *Device) govPowerLocked() float64 {
+	if d.govPower == 0 {
+		return 1
+	}
+	return d.govPower
+}

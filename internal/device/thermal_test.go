@@ -1,0 +1,152 @@
+package device
+
+import (
+	"testing"
+	"time"
+)
+
+func thermalDevice(t *testing.T) *Device {
+	t.Helper()
+	d := New(IntelCoreI7_8700())
+	if err := d.SetThermal(Thermal{Window: 100 * time.Millisecond, ThrottleClock: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestThermalValidation(t *testing.T) {
+	d := New(IntelCoreI7_8700())
+	if err := d.SetThermal(Thermal{Window: -time.Second}); err == nil {
+		t.Fatal("negative window accepted")
+	}
+	if err := d.SetThermal(Thermal{Window: time.Second, ThrottleClock: 0}); err == nil {
+		t.Fatal("zero throttle clock accepted")
+	}
+	if err := d.SetThermal(Thermal{Window: time.Second, ThrottleClock: 1.5}); err == nil {
+		t.Fatal("throttle clock >1 accepted")
+	}
+	if err := d.SetThermal(Thermal{}); err != nil {
+		t.Fatalf("clearing thermal model failed: %v", err)
+	}
+}
+
+func TestThermalThrottlesSustainedLoad(t *testing.T) {
+	d := thermalDevice(t)
+	w := testWorkload()
+	w.FlopsPerSample = 5_000_000
+
+	first := d.Execute(0, w, 4096)
+	// Hammer the device until the bucket fills.
+	last := first
+	for i := 0; i < 80; i++ {
+		last = d.Execute(last.Start+last.Latency, w, 4096)
+	}
+	if fill := d.ThermalFill(last.Start + last.Latency); fill < 0.99 {
+		t.Fatalf("sustained load left the bucket at %.2f", fill)
+	}
+	ratio := float64(last.Latency) / float64(first.Latency)
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Fatalf("fully throttled latency ratio %.2f, want ≈2 (ThrottleClock 0.5)", ratio)
+	}
+}
+
+func TestThermalRecoversWhenIdle(t *testing.T) {
+	d := thermalDevice(t)
+	w := testWorkload()
+	w.FlopsPerSample = 5_000_000
+	last := d.Execute(0, w, 4096)
+	for i := 0; i < 80; i++ {
+		last = d.Execute(last.Start+last.Latency, w, 4096)
+	}
+	hotEnd := last.Start + last.Latency
+	if d.ThermalFill(hotEnd) < 0.99 {
+		t.Fatal("device should be hot")
+	}
+	// A long idle period drains the bucket (DrainRate default 0.5 →
+	// twice the window suffices).
+	coolAt := hotEnd + time.Second
+	if fill := d.ThermalFill(coolAt); fill > 0.01 {
+		t.Fatalf("bucket still %.2f full after cooling", fill)
+	}
+	cooled := d.Execute(coolAt, w, 4096)
+	base := New(IntelCoreI7_8700())
+	if err := base.SetThermal(Thermal{Window: 100 * time.Millisecond, ThrottleClock: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	ref := base.Execute(0, w, 4096)
+	if diff := float64(cooled.Latency) / float64(ref.Latency); diff > 1.25 {
+		t.Fatalf("cooled device still %.2fx slower than cold reference", diff)
+	}
+}
+
+func TestThermalDisabledByDefault(t *testing.T) {
+	d := New(IntelCoreI7_8700())
+	w := testWorkload()
+	w.FlopsPerSample = 5_000_000
+	first := d.Execute(0, w, 4096)
+	last := first
+	for i := 0; i < 50; i++ {
+		last = d.Execute(last.Start+last.Latency, w, 4096)
+	}
+	if last.Latency != first.Latency {
+		t.Fatal("default profiles must not throttle (paper testbed conditions)")
+	}
+	if d.ThermalFill(last.Start+last.Latency) != 0 {
+		t.Fatal("disabled thermal model should report zero fill")
+	}
+}
+
+func TestGovernorTradesSpeedForPower(t *testing.T) {
+	w := testWorkload()
+	w.FlopsPerSample = 5_000_000
+	perf := New(IntelCoreI7_8700())
+	save := New(IntelCoreI7_8700())
+	if err := save.SetGovernor(0.5, 0.4); err != nil {
+		t.Fatal(err)
+	}
+	rp := perf.Execute(0, w, 4096)
+	rs := save.Execute(0, w, 4096)
+	if ratio := float64(rs.Latency) / float64(rp.Latency); ratio < 1.8 || ratio > 2.2 {
+		t.Fatalf("half-clock governor latency ratio %.2f, want ≈2", ratio)
+	}
+	// Average power must drop under powersave even though the run is
+	// longer.
+	if rs.AvgPowerW() >= rp.AvgPowerW() {
+		t.Fatalf("powersave average power %.1fW not below performance %.1fW",
+			rs.AvgPowerW(), rp.AvgPowerW())
+	}
+}
+
+func TestGovernorValidationAndReset(t *testing.T) {
+	d := New(IntelCoreI7_8700())
+	for _, bad := range [][2]float64{{0, 1}, {1, 0}, {1.5, 1}, {1, 1.5}, {-1, 1}} {
+		if err := d.SetGovernor(bad[0], bad[1]); err == nil {
+			t.Fatalf("governor %v accepted", bad)
+		}
+	}
+	if err := d.SetGovernor(0.5, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	d.Reset()
+	w := testWorkload()
+	ref := New(IntelCoreI7_8700()).Execute(0, w, 1024)
+	if got := d.Execute(0, w, 1024); got.Latency != ref.Latency {
+		t.Fatal("Reset should restore the performance governor")
+	}
+}
+
+func TestSchedulerSignalChainUnderDVFS(t *testing.T) {
+	// The kernel path (used by the runtime/scheduler) must see the same
+	// governor effects as the aggregate path.
+	w := testWorkload()
+	w.FlopsPerSample = 5_000_000
+	d := New(IntelUHD630())
+	if err := d.SetGovernor(0.5, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	ref := New(IntelUHD630()).ExecuteCompute(0, w, 4096)
+	slow := d.ExecuteCompute(0, w, 4096)
+	if float64(slow.Latency) < 1.8*float64(ref.Latency) {
+		t.Fatal("ExecuteCompute ignored the governor")
+	}
+}

@@ -1,0 +1,70 @@
+package device
+
+import (
+	"bomw/internal/nn"
+)
+
+// Workload is the device-independent cost summary of one model's
+// classification pass, extracted once from a built network. The device
+// models consume only these aggregates.
+type Workload struct {
+	Model string
+	// FlopsPerSample is the floating-point work to classify one sample.
+	FlopsPerSample int64
+	// SampleBytes is the input payload per sample (the unit of the
+	// paper's Gbit/s throughput axis).
+	SampleBytes int64
+	// OutputBytes is the classification result payload per sample.
+	OutputBytes int64
+	// WeightBytes is the total parameter footprint staged on the device.
+	WeightBytes int64
+	// ActivationBytes is the intermediate tensor traffic per sample.
+	ActivationBytes int64
+	// ItemsPerSample is the number of OpenCL work-items one sample
+	// spawns across all kernels (thread-per-node, §IV-B).
+	ItemsPerSample int64
+	// Kernels is the number of kernel launches per batch (one per layer
+	// with weights or pooling).
+	Kernels int
+	// AvgLayerWidth is ItemsPerSample / Kernels: the mean per-kernel
+	// concurrency one sample contributes.
+	AvgLayerWidth int64
+}
+
+// isReshape reports whether a layer moves no data and runs no compute
+// (Flatten): such layers are not kernels. Any other layer type — built
+// in or user defined (sparse, fp16, future custom layers) — is charged
+// as one kernel launch.
+func isReshape(l nn.Layer) bool {
+	_, ok := l.(nn.Flatten)
+	return ok
+}
+
+// WorkloadOf derives the cost summary from a built network.
+func WorkloadOf(net *nn.Network) Workload {
+	w := Workload{
+		Model:           net.Name(),
+		FlopsPerSample:  net.FlopsPerSample(),
+		SampleBytes:     net.SampleBytes(),
+		OutputBytes:     int64(net.Classes()) * 4,
+		WeightBytes:     net.ParamBytes(),
+		ActivationBytes: net.ActivationBytesPerSample(),
+	}
+	shape := net.InputShape()
+	for _, l := range net.Layers() {
+		shape = l.OutputShape(shape)
+		if isReshape(l) {
+			continue // pure reshapes fold into their consumer (§IV-B)
+		}
+		items := int64(1)
+		for _, d := range shape {
+			items *= int64(d)
+		}
+		w.ItemsPerSample += items
+		w.Kernels++
+	}
+	if w.Kernels > 0 {
+		w.AvgLayerWidth = w.ItemsPerSample / int64(w.Kernels)
+	}
+	return w
+}

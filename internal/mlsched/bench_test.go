@@ -1,0 +1,60 @@
+package mlsched
+
+import "testing"
+
+func BenchmarkForestFit(b *testing.B) {
+	X, y := blobs(1500, 9, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := NewTunedForest(1)
+		if err := f.Fit(X, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkForestPredict(b *testing.B) {
+	X, y := blobs(1500, 9, 1)
+	f := NewTunedForest(1)
+	if err := f.Fit(X, y); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Predict(X[i%len(X)])
+	}
+}
+
+func BenchmarkTreeFit(b *testing.B) {
+	X, y := blobs(1500, 9, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := NewTree(DefaultTreeConfig())
+		if err := t.Fit(X, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKNNPredict(b *testing.B) {
+	X, y := blobs(1500, 9, 1)
+	k := NewKNN(5)
+	if err := k.Fit(X, y); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Predict(X[i%len(X)])
+	}
+}
+
+func BenchmarkStratifiedKFold(b *testing.B) {
+	_, y := blobs(1500, 3, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := StratifiedKFold(y, 5, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package mlsched
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// StratifiedKFold splits sample indices into k folds preserving per-class
+// proportions (§V-C: the device classes are imbalanced, so plain k-fold
+// would skew training). The shuffle is seeded for reproducibility.
+func StratifiedKFold(y []int, k int, seed int64) ([][]int, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("mlsched: k-fold needs k ≥ 2, got %d", k)
+	}
+	if len(y) < k {
+		return nil, fmt.Errorf("mlsched: %d samples cannot fill %d folds", len(y), k)
+	}
+	byClass := map[int][]int{}
+	for i, c := range y {
+		byClass[c] = append(byClass[c], i)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	folds := make([][]int, k)
+	// Deterministic class order.
+	maxClass := 0
+	for c := range byClass {
+		if c > maxClass {
+			maxClass = c
+		}
+	}
+	next := 0
+	for c := 0; c <= maxClass; c++ {
+		idx := byClass[c]
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for _, i := range idx {
+			folds[next%k] = append(folds[next%k], i)
+			next++
+		}
+	}
+	return folds, nil
+}
+
+// CrossValidate trains one classifier per fold on the complement and
+// evaluates on the fold, returning pooled metrics over all held-out
+// predictions. Folds run in parallel (§V-C: "we can still parallelize
+// the execution of each of the outer folds").
+func CrossValidate(build Builder, X [][]float64, y []int, k int, seed int64) (Metrics, error) {
+	classes, err := validateXY(X, y)
+	if err != nil {
+		return Metrics{}, err
+	}
+	folds, err := StratifiedKFold(y, k, seed)
+	if err != nil {
+		return Metrics{}, err
+	}
+	pred := make([]int, len(y))
+	var wg sync.WaitGroup
+	errs := make([]error, len(folds))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for f, test := range folds {
+		wg.Add(1)
+		go func(f int, test []int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			inTest := make(map[int]bool, len(test))
+			for _, i := range test {
+				inTest[i] = true
+			}
+			var tx [][]float64
+			var ty []int
+			for i := range X {
+				if !inTest[i] {
+					tx = append(tx, X[i])
+					ty = append(ty, y[i])
+				}
+			}
+			c := build()
+			if err := c.Fit(tx, ty); err != nil {
+				errs[f] = err
+				return
+			}
+			for _, i := range test {
+				pred[i] = c.Predict(X[i])
+			}
+		}(f, test)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return Metrics{}, e
+		}
+	}
+	return Evaluate(y, pred, classes)
+}
+
+// ForestGrid is the hyperparameter grid of Table I.
+type ForestGrid struct {
+	NEstimators    []int
+	MaxDepth       []int
+	Criteria       []Criterion
+	MinSamplesLeaf []int
+}
+
+// PaperForestGrid returns exactly the values of Table I.
+func PaperForestGrid() ForestGrid {
+	return ForestGrid{
+		NEstimators:    []int{5, 10, 15, 20, 25, 30, 35, 40, 45, 50, 100, 200},
+		MaxDepth:       []int{3, 4, 5, 6, 7, 8, 9, 10},
+		Criteria:       []Criterion{Entropy, Gini},
+		MinSamplesLeaf: []int{1, 2, 3, 4, 5, 10, 15},
+	}
+}
+
+// Size returns the number of grid points.
+func (g ForestGrid) Size() int {
+	return len(g.NEstimators) * len(g.MaxDepth) * len(g.Criteria) * len(g.MinSamplesLeaf)
+}
+
+// Configs enumerates every grid point.
+func (g ForestGrid) Configs(seed int64) []ForestConfig {
+	out := make([]ForestConfig, 0, g.Size())
+	for _, n := range g.NEstimators {
+		for _, d := range g.MaxDepth {
+			for _, c := range g.Criteria {
+				for _, m := range g.MinSamplesLeaf {
+					out = append(out, ForestConfig{
+						NEstimators: n, MaxDepth: d, Criterion: c, MinSamplesLeaf: m, Seed: seed,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// NestedCVResult reports the outcome of the nested cross-validation of
+// §V-C: the outer-fold generalisation metrics and the hyperparameters the
+// inner search selected most often.
+type NestedCVResult struct {
+	Outer      Metrics
+	BestConfig ForestConfig
+	// PerFoldBest records the winning config of each outer fold's inner
+	// search.
+	PerFoldBest []ForestConfig
+}
+
+// NestedCrossValidate runs stratified nested cross-validation for the
+// random forest: the inner loop grid-searches hyperparameters on the
+// training portion of each outer fold; the outer loop scores the refit
+// winner on the held-out fold. grid should usually be a reduced version
+// of Table I (the full 1344-point grid is exercised by cmd/schedtrain).
+func NestedCrossValidate(X [][]float64, y []int, outerK, innerK int, grid ForestGrid, seed int64) (NestedCVResult, error) {
+	classes, err := validateXY(X, y)
+	if err != nil {
+		return NestedCVResult{}, err
+	}
+	outer, err := StratifiedKFold(y, outerK, seed)
+	if err != nil {
+		return NestedCVResult{}, err
+	}
+	configs := grid.Configs(seed)
+	if len(configs) == 0 {
+		return NestedCVResult{}, fmt.Errorf("mlsched: empty hyperparameter grid")
+	}
+	pred := make([]int, len(y))
+	res := NestedCVResult{PerFoldBest: make([]ForestConfig, len(outer))}
+
+	for f, test := range outer {
+		inTest := make(map[int]bool, len(test))
+		for _, i := range test {
+			inTest[i] = true
+		}
+		var tx [][]float64
+		var ty []int
+		for i := range X {
+			if !inTest[i] {
+				tx = append(tx, X[i])
+				ty = append(ty, y[i])
+			}
+		}
+		// Inner loop: grid search by stratified CV on the training part.
+		best, bestScore := configs[0], -1.0
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+		for _, cfg := range configs {
+			wg.Add(1)
+			go func(cfg ForestConfig) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				m, err := CrossValidate(func() Classifier { return NewForest(cfg) }, tx, ty, innerK, seed+1)
+				if err != nil {
+					return
+				}
+				mu.Lock()
+				if m.F1 > bestScore {
+					bestScore, best = m.F1, cfg
+				}
+				mu.Unlock()
+			}(cfg)
+		}
+		wg.Wait()
+		res.PerFoldBest[f] = best
+
+		// Refit the winner on the full training portion, score held out.
+		forest := NewForest(best)
+		if err := forest.Fit(tx, ty); err != nil {
+			return NestedCVResult{}, err
+		}
+		for _, i := range test {
+			pred[i] = forest.Predict(X[i])
+		}
+	}
+	res.Outer, err = Evaluate(y, pred, classes)
+	if err != nil {
+		return NestedCVResult{}, err
+	}
+	// Report the config chosen most often across folds.
+	counts := map[ForestConfig]int{}
+	for _, c := range res.PerFoldBest {
+		counts[c]++
+	}
+	bestCount := -1
+	for c, n := range counts {
+		if n > bestCount {
+			bestCount, res.BestConfig = n, c
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,287 @@
+package mlsched
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEvaluateKnownValues(t *testing.T) {
+	yTrue := []int{0, 0, 1, 1, 2, 2}
+	yPred := []int{0, 1, 1, 1, 2, 0}
+	m, err := Evaluate(yTrue, yPred, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Accuracy != 4.0/6 {
+		t.Fatalf("accuracy = %g", m.Accuracy)
+	}
+	// Class 0: tp=1 fp=1 fn=1 → p=r=0.5 f=0.5
+	// Class 1: tp=2 fp=1 fn=0 → p=2/3 r=1 f=0.8
+	// Class 2: tp=1 fp=0 fn=1 → p=1 r=0.5 f=2/3
+	wantP := (0.5 + 2.0/3 + 1) / 3
+	wantR := (0.5 + 1 + 0.5) / 3
+	wantF := (0.5 + 0.8 + 2.0/3) / 3
+	if !close(m.Precision, wantP) || !close(m.Recall, wantR) || !close(m.F1, wantF) {
+		t.Fatalf("P/R/F1 = %g/%g/%g, want %g/%g/%g", m.Precision, m.Recall, m.F1, wantP, wantR, wantF)
+	}
+	if m.Confusion[0][1] != 1 || m.Confusion[2][0] != 1 {
+		t.Fatalf("confusion = %v", m.Confusion)
+	}
+}
+
+func close(a, b float64) bool { d := a - b; return d < 1e-9 && d > -1e-9 }
+
+func TestEvaluateErrors(t *testing.T) {
+	if _, err := Evaluate(nil, nil, 2); err == nil {
+		t.Fatal("empty labels accepted")
+	}
+	if _, err := Evaluate([]int{0}, []int{0, 1}, 2); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Evaluate([]int{0}, []int{5}, 2); err == nil {
+		t.Fatal("out-of-range prediction accepted")
+	}
+}
+
+func TestEvaluateIgnoresAbsentClasses(t *testing.T) {
+	m, err := Evaluate([]int{0, 0, 1}, []int{0, 0, 1}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.F1 != 1 || m.Precision != 1 {
+		t.Fatalf("absent classes dragged down macro scores: %+v", m)
+	}
+}
+
+func TestMetricsString(t *testing.T) {
+	m, _ := Evaluate([]int{0, 1}, []int{0, 1}, 2)
+	if s := m.String(); s == "" {
+		t.Fatal("empty metrics string")
+	}
+}
+
+func TestStratifiedKFoldPreservesProportions(t *testing.T) {
+	// 30/40/30 imbalance like the paper's dataset (§V-B).
+	y := make([]int, 100)
+	for i := 0; i < 30; i++ {
+		y[i] = 0
+	}
+	for i := 30; i < 70; i++ {
+		y[i] = 1
+	}
+	for i := 70; i < 100; i++ {
+		y[i] = 2
+	}
+	folds, err := StratifiedKFold(y, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != 5 {
+		t.Fatalf("folds = %d", len(folds))
+	}
+	seen := map[int]bool{}
+	for _, fold := range folds {
+		if len(fold) != 20 {
+			t.Fatalf("fold size %d, want 20", len(fold))
+		}
+		counts := map[int]int{}
+		for _, i := range fold {
+			if seen[i] {
+				t.Fatalf("index %d in two folds", i)
+			}
+			seen[i] = true
+			counts[y[i]]++
+		}
+		// Each fold should hold ≈6/8/6 of the classes.
+		if counts[0] < 5 || counts[0] > 7 || counts[1] < 7 || counts[1] > 9 {
+			t.Fatalf("fold class balance off: %v", counts)
+		}
+	}
+	if len(seen) != 100 {
+		t.Fatalf("folds covered %d samples", len(seen))
+	}
+}
+
+func TestStratifiedKFoldErrors(t *testing.T) {
+	if _, err := StratifiedKFold([]int{0, 1}, 1, 1); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+	if _, err := StratifiedKFold([]int{0}, 2, 1); err == nil {
+		t.Fatal("more folds than samples accepted")
+	}
+}
+
+func TestCrossValidateOnSeparableData(t *testing.T) {
+	X, y := blobs(200, 4, 20)
+	m, err := CrossValidate(func() Classifier { return NewTree(DefaultTreeConfig()) }, X, y, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Accuracy < 0.9 {
+		t.Fatalf("CV accuracy %.2f on separable data", m.Accuracy)
+	}
+	if m.N != 200 {
+		t.Fatalf("CV pooled %d predictions", m.N)
+	}
+}
+
+func TestCrossValidatePropagatesErrors(t *testing.T) {
+	X, y := blobs(20, 2, 21)
+	if _, err := CrossValidate(func() Classifier { return failFit{} }, X, y, 4, 1); err == nil {
+		t.Fatal("CV swallowed Fit error")
+	}
+}
+
+type failFit struct{}
+
+func (failFit) Fit([][]float64, []int) error { return errFail }
+func (failFit) Predict([]float64) int        { return 0 }
+func (failFit) Name() string                 { return "fail" }
+
+var errFail = errString("fit failed")
+
+type errString string
+
+func (e errString) Error() string { return string(e) }
+
+func TestPaperForestGridMatchesTableI(t *testing.T) {
+	g := PaperForestGrid()
+	if len(g.NEstimators) != 12 || g.NEstimators[0] != 5 || g.NEstimators[11] != 200 {
+		t.Fatalf("n_estimators = %v", g.NEstimators)
+	}
+	if len(g.MaxDepth) != 8 || g.MaxDepth[0] != 3 || g.MaxDepth[7] != 10 {
+		t.Fatalf("max_depth = %v", g.MaxDepth)
+	}
+	if len(g.Criteria) != 2 {
+		t.Fatalf("criteria = %v", g.Criteria)
+	}
+	if len(g.MinSamplesLeaf) != 7 || g.MinSamplesLeaf[6] != 15 {
+		t.Fatalf("min_samples_leaf = %v", g.MinSamplesLeaf)
+	}
+	if g.Size() != 12*8*2*7 {
+		t.Fatalf("grid size = %d, want 1344", g.Size())
+	}
+	if got := len(g.Configs(1)); got != g.Size() {
+		t.Fatalf("Configs returned %d points", got)
+	}
+}
+
+func TestNestedCrossValidate(t *testing.T) {
+	X, y := blobs(150, 4, 22)
+	grid := ForestGrid{
+		NEstimators:    []int{5, 10},
+		MaxDepth:       []int{3, 6},
+		Criteria:       []Criterion{Gini},
+		MinSamplesLeaf: []int{1},
+	}
+	res, err := NestedCrossValidate(X, y, 3, 2, grid, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outer.Accuracy < 0.85 {
+		t.Fatalf("nested CV accuracy %.2f", res.Outer.Accuracy)
+	}
+	if len(res.PerFoldBest) != 3 {
+		t.Fatalf("per-fold best = %d entries", len(res.PerFoldBest))
+	}
+	if res.BestConfig.NEstimators == 0 {
+		t.Fatal("no best config selected")
+	}
+	if _, err := NestedCrossValidate(X, y, 3, 2, ForestGrid{}, 1); err == nil {
+		t.Fatal("empty grid accepted")
+	}
+}
+
+func TestConfusionString(t *testing.T) {
+	m, _ := Evaluate([]int{0, 0, 1, 2}, []int{0, 1, 1, 2}, 3)
+	s := m.ConfusionString([]string{"cpu", "igpu", "dgpu"})
+	for _, want := range []string{"cpu", "igpu", "dgpu", "true\\pred"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("confusion rendering missing %q:\n%s", want, s)
+		}
+	}
+	// Unlabelled classes fall back to indices.
+	s2 := m.ConfusionString(nil)
+	if !strings.Contains(s2, "class 2") {
+		t.Fatalf("fallback class names missing:\n%s", s2)
+	}
+}
+
+// Property: stratified k-fold always partitions the index set exactly
+// and keeps per-class counts within one of each other across folds.
+func TestPropertyStratifiedPartition(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw uint8) bool {
+		n := 20 + int(nRaw)%200
+		k := 2 + int(kRaw)%5
+		rng := rand.New(rand.NewSource(seed))
+		y := make([]int, n)
+		for i := range y {
+			y[i] = rng.Intn(3)
+		}
+		folds, err := StratifiedKFold(y, k, seed)
+		if err != nil {
+			return false
+		}
+		seen := make([]int, n)
+		perFoldClass := make([]map[int]int, k)
+		for fi, fold := range folds {
+			perFoldClass[fi] = map[int]int{}
+			for _, i := range fold {
+				seen[i]++
+				perFoldClass[fi][y[i]]++
+			}
+		}
+		for _, s := range seen {
+			if s != 1 {
+				return false
+			}
+		}
+		for c := 0; c < 3; c++ {
+			min, max := 1<<30, -1
+			for fi := range perFoldClass {
+				v := perFoldClass[fi][c]
+				if v < min {
+					min = v
+				}
+				if v > max {
+					max = v
+				}
+			}
+			if max-min > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerClassMetrics(t *testing.T) {
+	m, err := Evaluate([]int{0, 0, 1, 1, 2, 2}, []int{0, 1, 1, 1, 2, 0}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := m.PerClass()
+	if len(pc) != 3 {
+		t.Fatalf("classes = %d", len(pc))
+	}
+	// Class 1: tp=2 fp=1 fn=0 → precision 2/3, recall 1.
+	if !close(pc[1].Precision, 2.0/3) || !close(pc[1].Recall, 1) {
+		t.Fatalf("class 1 = %+v", pc[1])
+	}
+	if pc[0].Support != 2 || pc[1].Support != 2 || pc[2].Support != 2 {
+		t.Fatalf("supports wrong: %+v", pc)
+	}
+	// Macro F1 equals the mean of per-class F1s when all classes appear.
+	var sum float64
+	for _, c := range pc {
+		sum += c.F1
+	}
+	if !close(sum/3, m.F1) {
+		t.Fatalf("macro F1 %.4f != mean per-class %.4f", m.F1, sum/3)
+	}
+}

@@ -1,0 +1,267 @@
+package mlsched
+
+import (
+	"math"
+	"math/rand"
+)
+
+// LinearRegression is the paper's fastest selector (Table II): one-hot
+// least-squares regression per class, predicting the argmax of the fitted
+// responses. Trained by full-batch gradient descent with L2 shrinkage on
+// standardized features.
+type LinearRegression struct {
+	Epochs int
+	LR     float64
+	L2     float64
+
+	std     *standardizer
+	w       [][]float64 // [classes][features+1], last term is the bias
+	classes int
+}
+
+// NewLinearRegression builds the model with the defaults used in the
+// evaluation.
+func NewLinearRegression() *LinearRegression {
+	return &LinearRegression{Epochs: 300, LR: 0.05, L2: 1e-4}
+}
+
+// Name implements Classifier.
+func (m *LinearRegression) Name() string { return "Linear Regression" }
+
+// Fit implements Classifier.
+func (m *LinearRegression) Fit(X [][]float64, y []int) error {
+	classes, err := validateXY(X, y)
+	if err != nil {
+		return err
+	}
+	m.classes = classes
+	m.std = fitStandardizer(X)
+	Z := m.std.applyAll(X)
+	nf := len(Z[0])
+	m.w = make([][]float64, classes)
+	for c := range m.w {
+		m.w[c] = make([]float64, nf+1)
+	}
+	n := float64(len(Z))
+	grad := make([]float64, nf+1)
+	for epoch := 0; epoch < m.Epochs; epoch++ {
+		for c := 0; c < classes; c++ {
+			for j := range grad {
+				grad[j] = 0
+			}
+			for i, z := range Z {
+				target := 0.0
+				if y[i] == c {
+					target = 1
+				}
+				pred := m.w[c][nf]
+				for j, v := range z {
+					pred += m.w[c][j] * v
+				}
+				e := pred - target
+				for j, v := range z {
+					grad[j] += e * v
+				}
+				grad[nf] += e
+			}
+			for j := range m.w[c] {
+				m.w[c][j] -= m.LR * (grad[j]/n + m.L2*m.w[c][j])
+			}
+		}
+	}
+	return nil
+}
+
+// Predict implements Classifier.
+func (m *LinearRegression) Predict(x []float64) int {
+	if m.w == nil {
+		return 0
+	}
+	z := m.std.apply(x)
+	nf := len(z)
+	best, bestV := 0, math.Inf(-1)
+	for c := 0; c < m.classes; c++ {
+		v := m.w[c][nf]
+		for j, zv := range z {
+			v += m.w[c][j] * zv
+		}
+		if v > bestV {
+			best, bestV = c, v
+		}
+	}
+	return best
+}
+
+// SVM is a linear one-versus-rest support vector machine trained with
+// stochastic sub-gradient descent on the hinge loss (Pegasos-style). The
+// paper's SVM is its slowest-training selector; epochs govern that cost.
+type SVM struct {
+	Epochs int
+	Lambda float64
+	Seed   int64
+
+	std     *standardizer
+	w       [][]float64
+	classes int
+}
+
+// NewSVM builds the model with the defaults used in the evaluation.
+func NewSVM(seed int64) *SVM { return &SVM{Epochs: 600, Lambda: 1e-4, Seed: seed} }
+
+// Name implements Classifier.
+func (m *SVM) Name() string { return "SVM" }
+
+// Fit implements Classifier.
+func (m *SVM) Fit(X [][]float64, y []int) error {
+	classes, err := validateXY(X, y)
+	if err != nil {
+		return err
+	}
+	m.classes = classes
+	m.std = fitStandardizer(X)
+	Z := m.std.applyAll(X)
+	nf := len(Z[0])
+	m.w = make([][]float64, classes)
+	for c := range m.w {
+		m.w[c] = make([]float64, nf+1)
+	}
+	rng := rand.New(rand.NewSource(m.Seed))
+	t := 1
+	for epoch := 0; epoch < m.Epochs; epoch++ {
+		for range Z {
+			i := rng.Intn(len(Z))
+			z := Z[i]
+			eta := 1 / (m.Lambda * float64(t))
+			t++
+			for c := 0; c < classes; c++ {
+				label := -1.0
+				if y[i] == c {
+					label = 1
+				}
+				margin := m.w[c][nf]
+				for j, v := range z {
+					margin += m.w[c][j] * v
+				}
+				for j := range m.w[c][:nf] {
+					m.w[c][j] *= 1 - eta*m.Lambda
+				}
+				if label*margin < 1 {
+					for j, v := range z {
+						m.w[c][j] += eta * label * v
+					}
+					m.w[c][nf] += eta * label * 0.1 // damped bias update
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Predict implements Classifier.
+func (m *SVM) Predict(x []float64) int {
+	if m.w == nil {
+		return 0
+	}
+	z := m.std.apply(x)
+	nf := len(z)
+	best, bestV := 0, math.Inf(-1)
+	for c := 0; c < m.classes; c++ {
+		v := m.w[c][nf]
+		for j, zv := range z {
+			v += m.w[c][j] * zv
+		}
+		if v > bestV {
+			best, bestV = c, v
+		}
+	}
+	return best
+}
+
+// KNN is a k-nearest-neighbours classifier over standardized features
+// with Euclidean distance and majority vote.
+type KNN struct {
+	K int
+
+	std     *standardizer
+	Z       [][]float64
+	y       []int
+	classes int
+}
+
+// NewKNN builds the model; k defaults to 5 when non-positive.
+func NewKNN(k int) *KNN {
+	if k <= 0 {
+		k = 5
+	}
+	return &KNN{K: k}
+}
+
+// Name implements Classifier.
+func (m *KNN) Name() string { return "k-NN" }
+
+// Fit implements Classifier (lazy learner: memorises the data).
+func (m *KNN) Fit(X [][]float64, y []int) error {
+	classes, err := validateXY(X, y)
+	if err != nil {
+		return err
+	}
+	m.classes = classes
+	m.std = fitStandardizer(X)
+	m.Z = m.std.applyAll(X)
+	m.y = append([]int(nil), y...)
+	return nil
+}
+
+// Predict implements Classifier.
+func (m *KNN) Predict(x []float64) int {
+	if len(m.Z) == 0 {
+		return 0
+	}
+	k := m.K
+	if k > len(m.Z) {
+		k = len(m.Z)
+	}
+	z := m.std.apply(x)
+	// Keep the k smallest distances with bounded insertion — k is tiny.
+	best := make([]neighbour, 0, k)
+	for i, row := range m.Z {
+		var d float64
+		for j, v := range row {
+			diff := v - z[j]
+			d += diff * diff
+		}
+		if len(best) < k {
+			best = append(best, neighbour{d, m.y[i]})
+			siftUp(best)
+			continue
+		}
+		if d < best[k-1].d {
+			best[k-1] = neighbour{d, m.y[i]}
+			siftUp(best)
+		}
+	}
+	votes := make([]int, m.classes)
+	for _, c := range best {
+		votes[c.y]++
+	}
+	win := 0
+	for c, v := range votes {
+		if v > votes[win] {
+			win = c
+		}
+	}
+	return win
+}
+
+type neighbour struct {
+	d float64
+	y int
+}
+
+// siftUp restores ascending distance order after appending or replacing
+// the last element of the candidate buffer.
+func siftUp(s []neighbour) {
+	for i := len(s) - 1; i > 0 && s[i].d < s[i-1].d; i-- {
+		s[i], s[i-1] = s[i-1], s[i]
+	}
+}

@@ -1,0 +1,156 @@
+package mlsched
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Metrics carries the evaluation scores of §V-C and Table III: plain
+// accuracy plus macro-averaged precision, recall and F1, which the paper
+// prefers because the device classes are imbalanced (30/40/30).
+type Metrics struct {
+	Accuracy  float64
+	Precision float64 // macro-averaged
+	Recall    float64 // macro-averaged
+	F1        float64 // macro-averaged
+	Confusion [][]int // [true][predicted]
+	N         int
+}
+
+// Evaluate scores predictions against truth over classes classes.
+func Evaluate(yTrue, yPred []int, classes int) (Metrics, error) {
+	if len(yTrue) != len(yPred) || len(yTrue) == 0 {
+		return Metrics{}, fmt.Errorf("mlsched: need matching non-empty label slices (%d, %d)", len(yTrue), len(yPred))
+	}
+	m := Metrics{N: len(yTrue), Confusion: make([][]int, classes)}
+	for i := range m.Confusion {
+		m.Confusion[i] = make([]int, classes)
+	}
+	correct := 0
+	for i := range yTrue {
+		t, p := yTrue[i], yPred[i]
+		if t < 0 || t >= classes || p < 0 || p >= classes {
+			return Metrics{}, fmt.Errorf("mlsched: label out of range at %d: true=%d pred=%d classes=%d", i, t, p, classes)
+		}
+		m.Confusion[t][p]++
+		if t == p {
+			correct++
+		}
+	}
+	m.Accuracy = float64(correct) / float64(len(yTrue))
+
+	var sumP, sumR, sumF float64
+	counted := 0
+	for c := 0; c < classes; c++ {
+		tp := m.Confusion[c][c]
+		var fp, fn int
+		for o := 0; o < classes; o++ {
+			if o == c {
+				continue
+			}
+			fp += m.Confusion[o][c]
+			fn += m.Confusion[c][o]
+		}
+		if tp+fp+fn == 0 {
+			continue // class absent from both truth and predictions
+		}
+		counted++
+		var p, r float64
+		if tp+fp > 0 {
+			p = float64(tp) / float64(tp+fp)
+		}
+		if tp+fn > 0 {
+			r = float64(tp) / float64(tp+fn)
+		}
+		sumP += p
+		sumR += r
+		if p+r > 0 {
+			sumF += 2 * p * r / (p + r)
+		}
+	}
+	if counted > 0 {
+		m.Precision = sumP / float64(counted)
+		m.Recall = sumR / float64(counted)
+		m.F1 = sumF / float64(counted)
+	}
+	return m, nil
+}
+
+// String renders the Table III row.
+func (m Metrics) String() string {
+	return fmt.Sprintf("acc=%.2f%% F1=%.2f%% precision=%.2f%% recall=%.2f%% (n=%d)",
+		100*m.Accuracy, 100*m.F1, 100*m.Precision, 100*m.Recall, m.N)
+}
+
+// ClassMetrics is the per-class precision/recall/F1 breakdown the
+// stratified evaluation of §V-C examines under class imbalance.
+type ClassMetrics struct {
+	Class     int
+	Support   int // true instances of the class
+	Precision float64
+	Recall    float64
+	F1        float64
+}
+
+// PerClass derives the per-class breakdown from the confusion matrix.
+func (m Metrics) PerClass() []ClassMetrics {
+	out := make([]ClassMetrics, len(m.Confusion))
+	for c := range m.Confusion {
+		cm := ClassMetrics{Class: c}
+		tp := m.Confusion[c][c]
+		var fp, fn int
+		for o := range m.Confusion {
+			if o == c {
+				continue
+			}
+			fp += m.Confusion[o][c]
+			fn += m.Confusion[c][o]
+		}
+		for _, v := range m.Confusion[c] {
+			cm.Support += v
+		}
+		if tp+fp > 0 {
+			cm.Precision = float64(tp) / float64(tp+fp)
+		}
+		if tp+fn > 0 {
+			cm.Recall = float64(tp) / float64(tp+fn)
+		}
+		if cm.Precision+cm.Recall > 0 {
+			cm.F1 = 2 * cm.Precision * cm.Recall / (cm.Precision + cm.Recall)
+		}
+		out[c] = cm
+	}
+	return out
+}
+
+// ConfusionString renders the confusion matrix with optional class
+// labels (true classes on rows, predictions on columns).
+func (m Metrics) ConfusionString(labels []string) string {
+	classes := len(m.Confusion)
+	name := func(c int) string {
+		if c < len(labels) {
+			return labels[c]
+		}
+		return fmt.Sprintf("class %d", c)
+	}
+	width := 10
+	for c := 0; c < classes; c++ {
+		if l := len(name(c)); l+2 > width {
+			width = l + 2
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%*s", width, "true\\pred")
+	for c := 0; c < classes; c++ {
+		fmt.Fprintf(&b, "%*s", width, name(c))
+	}
+	b.WriteByte('\n')
+	for t := 0; t < classes; t++ {
+		fmt.Fprintf(&b, "%*s", width, name(t))
+		for p := 0; p < classes; p++ {
+			fmt.Fprintf(&b, "%*d", width, m.Confusion[t][p])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

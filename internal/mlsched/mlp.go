@@ -1,0 +1,192 @@
+package mlsched
+
+import (
+	"math"
+	"math/rand"
+)
+
+// MLP is the paper's "Feed Forward Neural Network" selector (Table II):
+// a small multilayer perceptron trained from scratch with mini-batch SGD
+// and softmax cross-entropy on standardized features.
+type MLP struct {
+	Hidden []int
+	Epochs int
+	LR     float64
+	Batch  int
+	Seed   int64
+
+	std     *standardizer
+	weights [][][]float64 // [layer][out][in+1]
+	classes int
+}
+
+// NewMLP builds the selector with the defaults used in the evaluation.
+func NewMLP(seed int64) *MLP {
+	return &MLP{Hidden: []int{32, 16}, Epochs: 120, LR: 0.05, Batch: 32, Seed: seed}
+}
+
+// Name implements Classifier.
+func (m *MLP) Name() string { return "Feed Forward Neural Network" }
+
+// Fit implements Classifier.
+func (m *MLP) Fit(X [][]float64, y []int) error {
+	classes, err := validateXY(X, y)
+	if err != nil {
+		return err
+	}
+	m.classes = classes
+	m.std = fitStandardizer(X)
+	Z := m.std.applyAll(X)
+
+	sizes := append([]int{len(Z[0])}, m.Hidden...)
+	sizes = append(sizes, classes)
+	rng := rand.New(rand.NewSource(m.Seed))
+	m.weights = make([][][]float64, len(sizes)-1)
+	for l := range m.weights {
+		in, out := sizes[l], sizes[l+1]
+		m.weights[l] = make([][]float64, out)
+		limit := math.Sqrt(6 / float64(in+out))
+		for o := range m.weights[l] {
+			row := make([]float64, in+1)
+			for j := 0; j < in; j++ {
+				row[j] = (rng.Float64()*2 - 1) * limit
+			}
+			m.weights[l][o] = row
+		}
+	}
+
+	order := make([]int, len(Z))
+	for i := range order {
+		order[i] = i
+	}
+	batch := m.Batch
+	if batch <= 0 || batch > len(Z) {
+		batch = len(Z)
+	}
+	for epoch := 0; epoch < m.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for lo := 0; lo < len(order); lo += batch {
+			hi := lo + batch
+			if hi > len(order) {
+				hi = len(order)
+			}
+			m.step(Z, y, order[lo:hi])
+		}
+	}
+	return nil
+}
+
+// step applies one mini-batch SGD update.
+func (m *MLP) step(Z [][]float64, y []int, batch []int) {
+	grads := make([][][]float64, len(m.weights))
+	for l := range grads {
+		grads[l] = make([][]float64, len(m.weights[l]))
+		for o := range grads[l] {
+			grads[l][o] = make([]float64, len(m.weights[l][o]))
+		}
+	}
+	for _, i := range batch {
+		acts, zs := m.forward(Z[i])
+		// Softmax cross-entropy delta on the output layer.
+		out := acts[len(acts)-1]
+		delta := make([]float64, len(out))
+		copy(delta, out)
+		delta[y[i]] -= 1
+		for l := len(m.weights) - 1; l >= 0; l-- {
+			in := acts[l]
+			for o, d := range delta {
+				g := grads[l][o]
+				for j, v := range in {
+					g[j] += d * v
+				}
+				g[len(in)] += d // bias
+			}
+			if l == 0 {
+				break
+			}
+			next := make([]float64, len(in))
+			for j := range next {
+				var s float64
+				for o, d := range delta {
+					s += d * m.weights[l][o][j]
+				}
+				if zs[l-1][j] <= 0 { // ReLU derivative
+					s = 0
+				}
+				next[j] = s
+			}
+			delta = next
+		}
+	}
+	scale := m.LR / float64(len(batch))
+	for l := range m.weights {
+		for o := range m.weights[l] {
+			for j := range m.weights[l][o] {
+				m.weights[l][o][j] -= scale * grads[l][o][j]
+			}
+		}
+	}
+}
+
+// forward returns activations per layer (acts[0] = input) and the
+// pre-activation values of each hidden layer.
+func (m *MLP) forward(x []float64) (acts [][]float64, zs [][]float64) {
+	acts = [][]float64{x}
+	cur := x
+	for l, layer := range m.weights {
+		out := make([]float64, len(layer))
+		for o, row := range layer {
+			v := row[len(cur)]
+			for j, c := range cur {
+				v += row[j] * c
+			}
+			out[o] = v
+		}
+		if l < len(m.weights)-1 {
+			zs = append(zs, append([]float64(nil), out...))
+			for j := range out {
+				if out[j] < 0 {
+					out[j] = 0
+				}
+			}
+		} else {
+			softmax64(out)
+		}
+		acts = append(acts, out)
+		cur = out
+	}
+	return acts, zs
+}
+
+func softmax64(v []float64) {
+	maxv := v[0]
+	for _, x := range v[1:] {
+		if x > maxv {
+			maxv = x
+		}
+	}
+	var sum float64
+	for i, x := range v {
+		v[i] = math.Exp(x - maxv)
+		sum += v[i]
+	}
+	for i := range v {
+		v[i] /= sum
+	}
+}
+
+// Predict implements Classifier.
+func (m *MLP) Predict(x []float64) int {
+	if m.weights == nil {
+		return 0
+	}
+	acts, _ := m.forward(m.std.apply(x))
+	out := acts[len(acts)-1]
+	best := 0
+	for c, v := range out {
+		if v > out[best] {
+			best = c
+		}
+	}
+	return best
+}

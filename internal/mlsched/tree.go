@@ -1,0 +1,297 @@
+package mlsched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Criterion selects the split-quality function of Table I.
+type Criterion int
+
+const (
+	// Gini impurity.
+	Gini Criterion = iota
+	// Entropy (information gain).
+	Entropy
+)
+
+// String returns the scikit-learn-style name.
+func (c Criterion) String() string {
+	if c == Entropy {
+		return "entropy"
+	}
+	return "gini"
+}
+
+// TreeConfig holds the decision-tree hyperparameters the paper tunes
+// (Table I): maximum depth, split criterion and minimum samples per leaf.
+type TreeConfig struct {
+	MaxDepth       int
+	Criterion      Criterion
+	MinSamplesLeaf int
+	// MaxFeatures restricts each split to a random feature subset of
+	// this size; 0 means all features (plain CART). Random forests set
+	// it to √features.
+	MaxFeatures int
+	Seed        int64
+}
+
+// DefaultTreeConfig mirrors the best single-tree settings found by the
+// paper's grid search.
+func DefaultTreeConfig() TreeConfig {
+	return TreeConfig{MaxDepth: 10, Criterion: Gini, MinSamplesLeaf: 1}
+}
+
+type treeNode struct {
+	// Leaf payload.
+	leaf  bool
+	class int
+	// Split payload.
+	feature   int
+	threshold float64
+	left      *treeNode
+	right     *treeNode
+}
+
+// Tree is a CART decision-tree classifier.
+type Tree struct {
+	cfg        TreeConfig
+	root       *treeNode
+	classes    int
+	depth      int
+	leaves     int
+	importance []float64 // accumulated impurity decrease per feature
+	nSamples   int
+}
+
+// NewTree builds an untrained tree with the given configuration.
+func NewTree(cfg TreeConfig) *Tree {
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = 10
+	}
+	if cfg.MinSamplesLeaf <= 0 {
+		cfg.MinSamplesLeaf = 1
+	}
+	return &Tree{cfg: cfg}
+}
+
+// Name implements Classifier.
+func (t *Tree) Name() string { return "Decision Tree" }
+
+// Depth returns the trained tree's depth (root = 0).
+func (t *Tree) Depth() int { return t.depth }
+
+// Leaves returns the trained tree's leaf count.
+func (t *Tree) Leaves() int { return t.leaves }
+
+// Fit implements Classifier.
+func (t *Tree) Fit(X [][]float64, y []int) error {
+	classes, err := validateXY(X, y)
+	if err != nil {
+		return err
+	}
+	t.classes = classes
+	t.importance = make([]float64, len(X[0]))
+	t.nSamples = len(X)
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	rng := newSplitRNG(t.cfg.Seed)
+	t.root = t.grow(X, y, idx, 0, rng)
+	return nil
+}
+
+// FeatureImportance returns the normalised mean-decrease-in-impurity per
+// feature (summing to 1 when any split occurred). The paper identifies
+// the batch size and the GPU state as the dominant scheduling features
+// (§V-B); this is the quantitative counterpart.
+func (t *Tree) FeatureImportance() []float64 {
+	out := append([]float64(nil), t.importance...)
+	var sum float64
+	for _, v := range out {
+		sum += v
+	}
+	if sum > 0 {
+		for i := range out {
+			out[i] /= sum
+		}
+	}
+	return out
+}
+
+// splitRNG is a tiny deterministic PRNG (xorshift) used for feature
+// subsampling so trees stay allocation-light inside forests.
+type splitRNG struct{ s uint64 }
+
+func newSplitRNG(seed int64) *splitRNG {
+	u := uint64(seed)*2654435761 + 0x9E3779B97F4A7C15
+	return &splitRNG{s: u}
+}
+
+func (r *splitRNG) next() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s
+}
+
+func (r *splitRNG) intn(n int) int { return int(r.next() % uint64(n)) }
+
+func (t *Tree) grow(X [][]float64, y []int, idx []int, depth int, rng *splitRNG) *treeNode {
+	counts := make([]int, t.classes)
+	for _, i := range idx {
+		counts[y[i]]++
+	}
+	major, pure := majority(counts, len(idx))
+	if depth > t.depth {
+		t.depth = depth
+	}
+	if pure || depth >= t.cfg.MaxDepth || len(idx) < 2*t.cfg.MinSamplesLeaf {
+		t.leaves++
+		return &treeNode{leaf: true, class: major}
+	}
+
+	feat, thr, gain, ok := t.bestSplit(X, y, idx, counts, rng)
+	if !ok {
+		t.leaves++
+		return &treeNode{leaf: true, class: major}
+	}
+	t.importance[feat] += gain * float64(len(idx)) / float64(t.nSamples)
+	var li, ri []int
+	for _, i := range idx {
+		if X[i][feat] <= thr {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	if len(li) < t.cfg.MinSamplesLeaf || len(ri) < t.cfg.MinSamplesLeaf {
+		t.leaves++
+		return &treeNode{leaf: true, class: major}
+	}
+	return &treeNode{
+		feature:   feat,
+		threshold: thr,
+		left:      t.grow(X, y, li, depth+1, rng),
+		right:     t.grow(X, y, ri, depth+1, rng),
+	}
+}
+
+func majority(counts []int, total int) (class int, pure bool) {
+	best := 0
+	for c, n := range counts {
+		if n > counts[best] {
+			best = c
+		}
+	}
+	return best, counts[best] == total
+}
+
+func (t *Tree) impurity(counts []int, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	switch t.cfg.Criterion {
+	case Entropy:
+		h := 0.0
+		for _, n := range counts {
+			if n == 0 {
+				continue
+			}
+			p := float64(n) / float64(total)
+			h -= p * math.Log2(p)
+		}
+		return h
+	default: // Gini
+		g := 1.0
+		for _, n := range counts {
+			p := float64(n) / float64(total)
+			g -= p * p
+		}
+		return g
+	}
+}
+
+// bestSplit scans candidate (feature, threshold) pairs for the split with
+// the lowest weighted child impurity.
+func (t *Tree) bestSplit(X [][]float64, y []int, idx []int, parentCounts []int, rng *splitRNG) (feature int, threshold, bestGainOut float64, ok bool) {
+	nFeatures := len(X[0])
+	features := make([]int, nFeatures)
+	for i := range features {
+		features[i] = i
+	}
+	if t.cfg.MaxFeatures > 0 && t.cfg.MaxFeatures < nFeatures {
+		// Fisher-Yates prefix for the random subset.
+		for i := 0; i < t.cfg.MaxFeatures; i++ {
+			j := i + rng.intn(nFeatures-i)
+			features[i], features[j] = features[j], features[i]
+		}
+		features = features[:t.cfg.MaxFeatures]
+	}
+
+	total := len(idx)
+	parentImp := t.impurity(parentCounts, total)
+	bestGain := 1e-12
+	type fv struct {
+		v float64
+		y int
+	}
+	vals := make([]fv, total)
+	leftCounts := make([]int, t.classes)
+	rightCounts := make([]int, t.classes)
+
+	for _, f := range features {
+		for k, i := range idx {
+			vals[k] = fv{v: X[i][f], y: y[i]}
+		}
+		sort.Slice(vals, func(a, b int) bool { return vals[a].v < vals[b].v })
+		for c := range leftCounts {
+			leftCounts[c] = 0
+			rightCounts[c] = parentCounts[c]
+		}
+		for k := 0; k < total-1; k++ {
+			leftCounts[vals[k].y]++
+			rightCounts[vals[k].y]--
+			if vals[k].v == vals[k+1].v {
+				continue
+			}
+			nl, nr := k+1, total-k-1
+			if nl < t.cfg.MinSamplesLeaf || nr < t.cfg.MinSamplesLeaf {
+				continue
+			}
+			gain := parentImp -
+				(float64(nl)*t.impurity(leftCounts, nl)+
+					float64(nr)*t.impurity(rightCounts, nr))/float64(total)
+			if gain > bestGain {
+				bestGain = gain
+				feature = f
+				threshold = (vals[k].v + vals[k+1].v) / 2
+				ok = true
+			}
+		}
+	}
+	return feature, threshold, bestGain, ok
+}
+
+// Predict implements Classifier.
+func (t *Tree) Predict(x []float64) int {
+	if t.root == nil {
+		return 0
+	}
+	n := t.root
+	for !n.leaf {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.class
+}
+
+// String summarises the trained tree.
+func (t *Tree) String() string {
+	return fmt.Sprintf("Tree(depth=%d leaves=%d criterion=%s)", t.depth, t.leaves, t.cfg.Criterion)
+}

@@ -1,0 +1,223 @@
+// Package models defines the paper's workload zoo: the five machine
+// learning models of §III-B (Simple/Iris, Mnist-Small, Mnist-Deep,
+// Mnist-CNN, Cifar-10), the sixteen additional architectures used for
+// data augmentation in §V-B, and deterministic synthetic datasets with
+// the same tensor shapes as Iris, MNIST and CIFAR-10.
+package models
+
+import (
+	"fmt"
+
+	"bomw/internal/nn"
+	"bomw/internal/tensor"
+)
+
+// Simple is the two-hidden-layer Iris network (§III-B1): 4 features,
+// two hidden layers of 6 nodes, 3 classes.
+func Simple() *nn.Spec {
+	return &nn.Spec{
+		Name:       "simple",
+		Kind:       nn.FFNN,
+		InputShape: []int{4},
+		Hidden:     []int{6, 6},
+		Classes:    3,
+		Act:        tensor.ReLU,
+	}
+}
+
+// MnistSmall is the two-hidden-layer MNIST network (§III-B2): 784 inputs,
+// hidden layers of 784 and 800 nodes, 10 classes.
+func MnistSmall() *nn.Spec {
+	return &nn.Spec{
+		Name:       "mnist-small",
+		Kind:       nn.FFNN,
+		InputShape: []int{784},
+		Hidden:     []int{784, 800},
+		Classes:    10,
+		Act:        tensor.ReLU,
+	}
+}
+
+// MnistDeep is the six-hidden-layer MNIST network (§III-B3) with the
+// 784-2500-2000-1500-1000-500 formation and a 10-node output layer.
+func MnistDeep() *nn.Spec {
+	return &nn.Spec{
+		Name:       "mnist-deep",
+		Kind:       nn.FFNN,
+		InputShape: []int{784},
+		Hidden:     []int{784, 2500, 2000, 1500, 1000, 500},
+		Classes:    10,
+		Act:        tensor.ReLU,
+	}
+}
+
+// MnistCNN is the two-VGG-block MNIST CNN (§III-B4): one 3×3×32
+// convolution plus one 2×2 pooling per block, a 128-node dense layer and
+// a 10-node output.
+func MnistCNN() *nn.Spec {
+	return &nn.Spec{
+		Name:          "mnist-cnn",
+		Kind:          nn.CNN,
+		InputShape:    []int{1, 28, 28},
+		Hidden:        []int{128},
+		Classes:       10,
+		Act:           tensor.ReLU,
+		VGGBlocks:     2,
+		ConvsPerBlock: 1,
+		Filters:       32,
+		FilterSize:    3,
+		PoolSize:      2,
+		SamePad:       true,
+	}
+}
+
+// Cifar10 is the three-VGG-block CIFAR-10 CNN (§III-B5): two 3×3×32
+// convolutions plus one 2×2 pooling per block, a 128-node dense layer and
+// a 10-node output.
+func Cifar10() *nn.Spec {
+	return &nn.Spec{
+		Name:          "cifar-10",
+		Kind:          nn.CNN,
+		InputShape:    []int{3, 32, 32},
+		Hidden:        []int{128},
+		Classes:       10,
+		Act:           tensor.ReLU,
+		VGGBlocks:     3,
+		ConvsPerBlock: 2,
+		Filters:       32,
+		FilterSize:    3,
+		PoolSize:      2,
+		SamePad:       true,
+	}
+}
+
+// PaperModels returns the five evaluation models of §III-B in paper order.
+func PaperModels() []*nn.Spec {
+	return []*nn.Spec{Simple(), MnistSmall(), MnistDeep(), MnistCNN(), Cifar10()}
+}
+
+// AugmentationModels returns the sixteen extra architectures measured in
+// §V-B to augment the scheduler's training data. Eight FFNNs span the
+// (depth × layer size) space and eight CNNs span (VGG blocks ×
+// convolutions per block × filter size × pooling size).
+func AugmentationModels() []*nn.Spec {
+	var specs []*nn.Spec
+	// FFNNs: depth ∈ {1,2,4,6}, width ∈ {32, 1024}.
+	for _, depth := range []int{1, 2, 4, 6} {
+		for _, width := range []int{32, 1024} {
+			hidden := make([]int, depth)
+			for i := range hidden {
+				hidden[i] = width
+			}
+			specs = append(specs, &nn.Spec{
+				Name:       fmt.Sprintf("aug-ffnn-d%d-w%d", depth, width),
+				Kind:       nn.FFNN,
+				InputShape: []int{256},
+				Hidden:     hidden,
+				Classes:    10,
+				Act:        tensor.ReLU,
+			})
+		}
+	}
+	// CNNs: (blocks, convs/block, filter, pool) combinations covering each
+	// parameter axis of §V-B.
+	type cnnCfg struct {
+		blocks, convs, filters, fsize, pool int
+	}
+	for _, c := range []cnnCfg{
+		{1, 1, 16, 3, 2},
+		{1, 2, 16, 3, 2},
+		{2, 1, 16, 5, 2},
+		{2, 2, 32, 3, 2},
+		{3, 1, 32, 3, 2},
+		{3, 2, 16, 3, 2},
+		{2, 1, 32, 3, 4},
+		{1, 1, 64, 7, 2},
+	} {
+		specs = append(specs, &nn.Spec{
+			Name: fmt.Sprintf("aug-cnn-b%d-c%d-f%d-k%d-p%d",
+				c.blocks, c.convs, c.filters, c.fsize, c.pool),
+			Kind:          nn.CNN,
+			InputShape:    []int{3, 32, 32},
+			Hidden:        []int{64},
+			Classes:       10,
+			Act:           tensor.ReLU,
+			VGGBlocks:     c.blocks,
+			ConvsPerBlock: c.convs,
+			Filters:       c.filters,
+			FilterSize:    c.fsize,
+			PoolSize:      c.pool,
+			SamePad:       true,
+		})
+	}
+	return specs
+}
+
+// AllModels returns the 21 measured architectures (5 paper + 16
+// augmentation) that produce the scheduler's 1480-sample training set.
+func AllModels() []*nn.Spec {
+	return append(PaperModels(), AugmentationModels()...)
+}
+
+// UnseenModels returns architectures excluded from every training sweep;
+// Fig. 6 and the "models never seen before" accuracy of §VI are evaluated
+// on these.
+func UnseenModels() []*nn.Spec {
+	return []*nn.Spec{
+		{
+			Name:       "unseen-ffnn-wide",
+			Kind:       nn.FFNN,
+			InputShape: []int{512},
+			Hidden:     []int{1500, 700, 300},
+			Classes:    10,
+			Act:        tensor.ReLU,
+		},
+		{
+			Name:       "unseen-ffnn-tiny",
+			Kind:       nn.FFNN,
+			InputShape: []int{16},
+			Hidden:     []int{12, 8},
+			Classes:    4,
+			Act:        tensor.ReLU,
+		},
+		{
+			Name:          "unseen-cnn-mid",
+			Kind:          nn.CNN,
+			InputShape:    []int{3, 28, 28},
+			Hidden:        []int{96},
+			Classes:       10,
+			Act:           tensor.ReLU,
+			VGGBlocks:     2,
+			ConvsPerBlock: 2,
+			Filters:       24,
+			FilterSize:    3,
+			PoolSize:      2,
+			SamePad:       true,
+		},
+		{
+			Name:          "unseen-cnn-deep",
+			Kind:          nn.CNN,
+			InputShape:    []int{3, 48, 48},
+			Hidden:        []int{128, 64},
+			Classes:       10,
+			Act:           tensor.ReLU,
+			VGGBlocks:     3,
+			ConvsPerBlock: 1,
+			Filters:       48,
+			FilterSize:    3,
+			PoolSize:      2,
+			SamePad:       true,
+		},
+	}
+}
+
+// ByName returns the spec with the given name from the union of paper,
+// augmentation and unseen models.
+func ByName(name string) (*nn.Spec, error) {
+	for _, s := range append(AllModels(), UnseenModels()...) {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("models: unknown model %q", name)
+}

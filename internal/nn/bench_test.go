@@ -1,0 +1,44 @@
+package nn
+
+import (
+	"testing"
+
+	"bomw/internal/tensor"
+)
+
+func benchForward(b *testing.B, spec *Spec, batch int) {
+	net := spec.MustBuild(1)
+	shape := append([]int{batch}, spec.InputShape...)
+	in := tensor.New(shape...)
+	b.SetBytes(int64(batch) * net.SampleBytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Forward(tensor.Default, in)
+	}
+}
+
+func BenchmarkForwardSimple64(b *testing.B) {
+	benchForward(b, &Spec{Name: "simple", Kind: FFNN, InputShape: []int{4},
+		Hidden: []int{6, 6}, Classes: 3, Act: tensor.ReLU}, 64)
+}
+
+func BenchmarkForwardMnistSmall64(b *testing.B) {
+	benchForward(b, &Spec{Name: "mnist-small", Kind: FFNN, InputShape: []int{784},
+		Hidden: []int{784, 800}, Classes: 10, Act: tensor.ReLU}, 64)
+}
+
+func BenchmarkForwardMnistCNN16(b *testing.B) {
+	benchForward(b, &Spec{Name: "mnist-cnn", Kind: CNN, InputShape: []int{1, 28, 28},
+		Hidden: []int{128}, Classes: 10, Act: tensor.ReLU,
+		VGGBlocks: 2, ConvsPerBlock: 1, Filters: 32, FilterSize: 3, PoolSize: 2, SamePad: true}, 16)
+}
+
+func BenchmarkBuildMnistDeep(b *testing.B) {
+	spec := &Spec{Name: "mnist-deep", Kind: FFNN, InputShape: []int{784},
+		Hidden: []int{784, 2500, 2000, 1500, 1000, 500}, Classes: 10, Act: tensor.ReLU}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spec.MustBuild(int64(i))
+	}
+}

@@ -1,0 +1,33 @@
+package nn
+
+import (
+	"bytes"
+	"testing"
+
+	"bomw/internal/tensor"
+)
+
+// FuzzReadWeights: arbitrary byte streams must never panic the weight
+// loader or corrupt the target network's shape.
+func FuzzReadWeights(f *testing.F) {
+	src := irisSpec().MustBuild(80)
+	var buf bytes.Buffer
+	if err := src.WriteWeights(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0x57, 0x4d, 0x4f, 0x42, 1, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dst := irisSpec().MustBuild(81)
+		if err := dst.ReadWeights(bytes.NewReader(data)); err != nil {
+			return
+		}
+		// Successful loads must leave a usable network.
+		out := dst.Forward(tensor.Serial, tensor.New(2, 4))
+		if out.Dim(1) != 3 {
+			t.Fatal("weights load corrupted the network")
+		}
+	})
+}

@@ -1,0 +1,209 @@
+// Package nn implements the feed-forward and convolutional neural network
+// inference engines evaluated by the paper (§II-B, §III-B): layer types,
+// network assembly from architecture specs, deterministic weight
+// initialisation, forward (classification) passes, and the FLOP/byte
+// accounting the device cost models consume.
+//
+// Training of the workload networks is out of scope for the paper's
+// evaluation (it happens offline); bomw initialises weights from a seeded
+// PRNG so runs are reproducible, and the Dispatcher (internal/core) loads
+// those weights onto every device exactly as Fig. 2 describes.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"bomw/internal/tensor"
+)
+
+// Layer is one stage of a network's forward pass. Implementations must be
+// safe for concurrent Forward calls (weights are read-only after build).
+type Layer interface {
+	// Forward computes the layer output for a batch held in in.
+	Forward(pool *tensor.Pool, in *tensor.Tensor) *tensor.Tensor
+	// OutputShape returns the per-sample output shape for a given
+	// per-sample input shape (batch dimension excluded).
+	OutputShape(in []int) []int
+	// FlopsPerSample returns the floating-point operations needed for one
+	// sample with the given per-sample input shape.
+	FlopsPerSample(in []int) int64
+	// ParamBytes returns the weight footprint in bytes.
+	ParamBytes() int64
+	// Name returns a short human-readable layer description.
+	Name() string
+}
+
+// Dense is a fully connected layer: out = act(in·Wᵀ + b).
+// W has shape [out, in]; B has shape [out].
+type Dense struct {
+	W   *tensor.Tensor
+	B   *tensor.Tensor
+	Act tensor.Activation
+}
+
+// NewDense builds a dense layer with Xavier/Glorot-uniform weights drawn
+// from rng.
+func NewDense(rng *rand.Rand, in, out int, act tensor.Activation) *Dense {
+	w := tensor.New(out, in)
+	limit := float32(math.Sqrt(6 / float64(in+out)))
+	d := w.Data()
+	for i := range d {
+		d[i] = (rng.Float32()*2 - 1) * limit
+	}
+	return &Dense{W: w, B: tensor.New(out), Act: act}
+}
+
+// In returns the layer fan-in.
+func (l *Dense) In() int { return l.W.Dim(1) }
+
+// Out returns the layer fan-out (number of neurons).
+func (l *Dense) Out() int { return l.W.Dim(0) }
+
+// Forward implements Layer.
+func (l *Dense) Forward(pool *tensor.Pool, in *tensor.Tensor) *tensor.Tensor {
+	if in.Rank() != 2 {
+		panic(fmt.Sprintf("nn: Dense input must be rank-2 [batch, features], got %v", in.Shape()))
+	}
+	out := tensor.MatMul(pool, in, tensor.Transpose(l.W))
+	tensor.AddBiasRows(pool, out, l.B)
+	l.Act.Apply(pool, out)
+	return out
+}
+
+// OutputShape implements Layer.
+func (l *Dense) OutputShape(in []int) []int { return []int{l.Out()} }
+
+// FlopsPerSample implements Layer: a multiply-accumulate per weight plus
+// bias add and activation.
+func (l *Dense) FlopsPerSample(in []int) int64 {
+	return int64(2*l.In()+1)*int64(l.Out()) + l.Act.FlopsPerElement()*int64(l.Out())
+}
+
+// ParamBytes implements Layer.
+func (l *Dense) ParamBytes() int64 { return l.W.SizeBytes() + l.B.SizeBytes() }
+
+// Name implements Layer.
+func (l *Dense) Name() string {
+	return fmt.Sprintf("dense(%d→%d,%s)", l.In(), l.Out(), l.Act)
+}
+
+// Conv is a 2-D convolution layer with stride 1 and Pad rows/columns of
+// zero padding per side ("valid" = 0, "same" = (k-1)/2 for odd k), the
+// configurations used by the paper's CNNs. Filters has shape
+// [outC, inC, kH, kW].
+type Conv struct {
+	Filters *tensor.Tensor
+	Bias    *tensor.Tensor
+	Act     tensor.Activation
+	Pad     int
+}
+
+// NewConv builds a valid-padding convolution layer with He-uniform weights
+// drawn from rng.
+func NewConv(rng *rand.Rand, inC, outC, k int, act tensor.Activation) *Conv {
+	return NewConvPad(rng, inC, outC, k, 0, act)
+}
+
+// NewConvPad builds a convolution layer with explicit zero padding.
+func NewConvPad(rng *rand.Rand, inC, outC, k, pad int, act tensor.Activation) *Conv {
+	f := tensor.New(outC, inC, k, k)
+	limit := float32(math.Sqrt(6 / float64(inC*k*k)))
+	d := f.Data()
+	for i := range d {
+		d[i] = (rng.Float32()*2 - 1) * limit
+	}
+	return &Conv{Filters: f, Bias: tensor.New(outC), Act: act, Pad: pad}
+}
+
+// Forward implements Layer.
+func (l *Conv) Forward(pool *tensor.Pool, in *tensor.Tensor) *tensor.Tensor {
+	out := tensor.Conv2D(pool, tensor.Pad2D(in, l.Pad), l.Filters, l.Bias)
+	l.Act.Apply(pool, out)
+	return out
+}
+
+// OutputShape implements Layer.
+func (l *Conv) OutputShape(in []int) []int {
+	if len(in) != 3 {
+		panic(fmt.Sprintf("nn: Conv input must be [C H W], got %v", in))
+	}
+	k := l.Filters.Dim(2)
+	return []int{l.Filters.Dim(0), in[1] + 2*l.Pad - k + 1, in[2] + 2*l.Pad - k + 1}
+}
+
+// FlopsPerSample implements Layer.
+func (l *Conv) FlopsPerSample(in []int) int64 {
+	out := l.OutputShape(in)
+	macs := int64(out[0]) * int64(out[1]) * int64(out[2]) *
+		int64(l.Filters.Dim(1)) * int64(l.Filters.Dim(2)) * int64(l.Filters.Dim(3))
+	elems := int64(out[0]) * int64(out[1]) * int64(out[2])
+	return 2*macs + elems*(1+l.Act.FlopsPerElement())
+}
+
+// ParamBytes implements Layer.
+func (l *Conv) ParamBytes() int64 { return l.Filters.SizeBytes() + l.Bias.SizeBytes() }
+
+// Name implements Layer.
+func (l *Conv) Name() string {
+	return fmt.Sprintf("conv(%dx%dx%d→%d,%s)", l.Filters.Dim(2), l.Filters.Dim(3), l.Filters.Dim(1), l.Filters.Dim(0), l.Act)
+}
+
+// MaxPool is a non-overlapping max-pooling layer with window K.
+type MaxPool struct {
+	K int
+}
+
+// Forward implements Layer.
+func (l *MaxPool) Forward(pool *tensor.Pool, in *tensor.Tensor) *tensor.Tensor {
+	return tensor.MaxPool2D(pool, in, l.K)
+}
+
+// OutputShape implements Layer.
+func (l *MaxPool) OutputShape(in []int) []int {
+	if len(in) != 3 {
+		panic(fmt.Sprintf("nn: MaxPool input must be [C H W], got %v", in))
+	}
+	return []int{in[0], in[1] / l.K, in[2] / l.K}
+}
+
+// FlopsPerSample implements Layer: one compare per pooled element.
+func (l *MaxPool) FlopsPerSample(in []int) int64 {
+	out := l.OutputShape(in)
+	return int64(out[0]) * int64(out[1]) * int64(out[2]) * int64(l.K*l.K)
+}
+
+// ParamBytes implements Layer.
+func (l *MaxPool) ParamBytes() int64 { return 0 }
+
+// Name implements Layer.
+func (l *MaxPool) Name() string { return fmt.Sprintf("maxpool(%dx%d)", l.K, l.K) }
+
+// Flatten reshapes [batch, C, H, W] feature maps into [batch, C*H*W] rows
+// feeding the dense head of a CNN.
+type Flatten struct{}
+
+// Forward implements Layer.
+func (Flatten) Forward(pool *tensor.Pool, in *tensor.Tensor) *tensor.Tensor {
+	batch := in.Dim(0)
+	return in.Reshape(batch, in.Len()/batch)
+}
+
+// OutputShape implements Layer.
+func (Flatten) OutputShape(in []int) []int {
+	n := 1
+	for _, d := range in {
+		n *= d
+	}
+	return []int{n}
+}
+
+// FlopsPerSample implements Layer.
+func (Flatten) FlopsPerSample(in []int) int64 { return 0 }
+
+// ParamBytes implements Layer.
+func (Flatten) ParamBytes() int64 { return 0 }
+
+// Name implements Layer.
+func (Flatten) Name() string { return "flatten" }

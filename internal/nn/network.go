@@ -1,0 +1,137 @@
+package nn
+
+import (
+	"fmt"
+	"strings"
+
+	"bomw/internal/tensor"
+)
+
+// Network is an ordered stack of layers implementing one of the paper's
+// workload models. A Network is immutable after construction and safe for
+// concurrent Forward calls.
+type Network struct {
+	name       string
+	inputShape []int // per-sample shape, e.g. [4] for Iris, [1 28 28] for MNIST
+	layers     []Layer
+	classes    int
+}
+
+// NewNetwork assembles a network. inputShape is the per-sample shape
+// (without the batch dimension). It validates that every layer's input
+// shape matches its predecessor's output.
+func NewNetwork(name string, inputShape []int, layers ...Layer) *Network {
+	if len(layers) == 0 {
+		panic("nn: network needs at least one layer")
+	}
+	shape := append([]int(nil), inputShape...)
+	for _, l := range layers {
+		shape = l.OutputShape(shape) // panics on incompatible shapes
+	}
+	if len(shape) != 1 {
+		panic(fmt.Sprintf("nn: network %q must end in a rank-1 per-sample output, got %v", name, shape))
+	}
+	return &Network{
+		name:       name,
+		inputShape: append([]int(nil), inputShape...),
+		layers:     layers,
+		classes:    shape[0],
+	}
+}
+
+// Name returns the network's name.
+func (n *Network) Name() string { return n.name }
+
+// InputShape returns the per-sample input shape.
+func (n *Network) InputShape() []int { return n.inputShape }
+
+// Classes returns the size of the output layer.
+func (n *Network) Classes() int { return n.classes }
+
+// Layers returns the layer stack. The slice must not be mutated.
+func (n *Network) Layers() []Layer { return n.layers }
+
+// SampleBytes returns the byte size of one input sample; this is the unit
+// the paper's throughput figures (bits/s) are based on.
+func (n *Network) SampleBytes() int64 {
+	sz := int64(4)
+	for _, d := range n.inputShape {
+		sz *= int64(d)
+	}
+	return sz
+}
+
+// Forward runs a classification pass over a batch. The input must have
+// shape [batch, inputShape...].
+func (n *Network) Forward(pool *tensor.Pool, in *tensor.Tensor) *tensor.Tensor {
+	if in.Dim(0) <= 0 || in.Rank() != len(n.inputShape)+1 {
+		panic(fmt.Sprintf("nn: %s expects input rank %d (batch + %v), got %v",
+			n.name, len(n.inputShape)+1, n.inputShape, in.Shape()))
+	}
+	for i, d := range n.inputShape {
+		if in.Dim(i+1) != d {
+			panic(fmt.Sprintf("nn: %s expects per-sample shape %v, got %v", n.name, n.inputShape, in.Shape()[1:]))
+		}
+	}
+	x := in
+	for _, l := range n.layers {
+		x = l.Forward(pool, x)
+	}
+	return x
+}
+
+// Classify runs Forward and reduces each row to its argmax class index.
+func (n *Network) Classify(pool *tensor.Pool, in *tensor.Tensor) []int {
+	return tensor.Argmax(n.Forward(pool, in))
+}
+
+// FlopsPerSample returns the total floating-point work for one sample.
+func (n *Network) FlopsPerSample() int64 {
+	shape := n.inputShape
+	var total int64
+	for _, l := range n.layers {
+		total += l.FlopsPerSample(shape)
+		shape = l.OutputShape(shape)
+	}
+	return total
+}
+
+// ParamBytes returns the total weight footprint in bytes — the volume the
+// Weights Building Module stages onto each device.
+func (n *Network) ParamBytes() int64 {
+	var total int64
+	for _, l := range n.layers {
+		total += l.ParamBytes()
+	}
+	return total
+}
+
+// ActivationBytesPerSample returns an upper bound on the intermediate
+// activation traffic per sample, used by the device memory model.
+func (n *Network) ActivationBytesPerSample() int64 {
+	shape := n.inputShape
+	vol := func(s []int) int64 {
+		v := int64(4)
+		for _, d := range s {
+			v *= int64(d)
+		}
+		return v
+	}
+	total := vol(shape)
+	for _, l := range n.layers {
+		shape = l.OutputShape(shape)
+		total += vol(shape)
+	}
+	return total
+}
+
+// String renders the layer stack, e.g.
+// "mnist-small: [784] → dense(784→784,relu) → … → dense(800→10,softmax)".
+func (n *Network) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %v", n.name, n.inputShape)
+	for _, l := range n.layers {
+		fmt.Fprintf(&b, " → %s", l.Name())
+	}
+	return b.String()
+}

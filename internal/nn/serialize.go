@@ -1,0 +1,130 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"bomw/internal/tensor"
+)
+
+// Weight serialisation implements the storage side of the Weights Building
+// Module (Fig. 2): after the (offline) training phase the resulting weights
+// are kept by the Dispatcher and staged into each device's buffers. The
+// format is a little-endian stream: magic, version, layer count, then for
+// each weight-bearing layer its tensors (rank, dims, float32 payload).
+
+const (
+	weightsMagic   = uint32(0x424F4D57) // "BOMW"
+	weightsVersion = uint32(1)
+)
+
+// WriteWeights serialises all weight tensors of the network to w.
+func (n *Network) WriteWeights(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var tensors []*tensor.Tensor
+	for _, l := range n.layers {
+		switch t := l.(type) {
+		case *Dense:
+			tensors = append(tensors, t.W, t.B)
+		case *Conv:
+			tensors = append(tensors, t.Filters, t.Bias)
+		}
+	}
+	hdr := []uint32{weightsMagic, weightsVersion, uint32(len(tensors))}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("nn: writing weights header: %w", err)
+		}
+	}
+	for _, t := range tensors {
+		if err := writeTensor(bw, t); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func writeTensor(w io.Writer, t *tensor.Tensor) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(t.Rank())); err != nil {
+		return fmt.Errorf("nn: writing tensor rank: %w", err)
+	}
+	for _, d := range t.Shape() {
+		if err := binary.Write(w, binary.LittleEndian, uint32(d)); err != nil {
+			return fmt.Errorf("nn: writing tensor shape: %w", err)
+		}
+	}
+	buf := make([]byte, 4*len(t.Data()))
+	for i, v := range t.Data() {
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+	}
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("nn: writing tensor payload: %w", err)
+	}
+	return nil
+}
+
+// ReadWeights loads weights previously produced by WriteWeights into the
+// network. The architecture must match exactly.
+func (n *Network) ReadWeights(r io.Reader) error {
+	br := bufio.NewReader(r)
+	var magic, version, count uint32
+	for _, p := range []*uint32{&magic, &version, &count} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return fmt.Errorf("nn: reading weights header: %w", err)
+		}
+	}
+	if magic != weightsMagic {
+		return fmt.Errorf("nn: bad weights magic %#x", magic)
+	}
+	if version != weightsVersion {
+		return fmt.Errorf("nn: unsupported weights version %d", version)
+	}
+	var targets []*tensor.Tensor
+	for _, l := range n.layers {
+		switch t := l.(type) {
+		case *Dense:
+			targets = append(targets, t.W, t.B)
+		case *Conv:
+			targets = append(targets, t.Filters, t.Bias)
+		}
+	}
+	if int(count) != len(targets) {
+		return fmt.Errorf("nn: weights stream has %d tensors, network %q needs %d", count, n.name, len(targets))
+	}
+	for i, t := range targets {
+		if err := readTensorInto(br, t); err != nil {
+			return fmt.Errorf("nn: tensor %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func readTensorInto(r io.Reader, t *tensor.Tensor) error {
+	var rank uint32
+	if err := binary.Read(r, binary.LittleEndian, &rank); err != nil {
+		return fmt.Errorf("reading rank: %w", err)
+	}
+	if int(rank) != t.Rank() {
+		return fmt.Errorf("rank %d, want %d", rank, t.Rank())
+	}
+	for i := 0; i < int(rank); i++ {
+		var d uint32
+		if err := binary.Read(r, binary.LittleEndian, &d); err != nil {
+			return fmt.Errorf("reading shape: %w", err)
+		}
+		if int(d) != t.Dim(i) {
+			return fmt.Errorf("dim %d is %d, want %d", i, d, t.Dim(i))
+		}
+	}
+	buf := make([]byte, 4*len(t.Data()))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return fmt.Errorf("reading payload: %w", err)
+	}
+	for i := range t.Data() {
+		t.Data()[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+	}
+	return nil
+}

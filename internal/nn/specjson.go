@@ -1,0 +1,106 @@
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"bomw/internal/tensor"
+)
+
+// JSON codec for architecture specs, so model zoos can live in
+// configuration files and be posted to the HTTP service. The wire shape
+// uses snake_case field names and string enums.
+type specJSON struct {
+	Name          string `json:"name"`
+	Kind          string `json:"kind"` // "ffnn" | "cnn"
+	InputShape    []int  `json:"input_shape"`
+	Hidden        []int  `json:"hidden"`
+	Classes       int    `json:"classes"`
+	Activation    string `json:"activation,omitempty"`
+	VGGBlocks     int    `json:"vgg_blocks,omitempty"`
+	ConvsPerBlock int    `json:"convs_per_block,omitempty"`
+	Filters       int    `json:"filters,omitempty"`
+	FilterSize    int    `json:"filter_size,omitempty"`
+	PoolSize      int    `json:"pool_size,omitempty"`
+	SamePad       bool   `json:"same_pad,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (s *Spec) MarshalJSON() ([]byte, error) {
+	return json.Marshal(specJSON{
+		Name:          s.Name,
+		Kind:          s.Kind.String(),
+		InputShape:    s.InputShape,
+		Hidden:        s.Hidden,
+		Classes:       s.Classes,
+		Activation:    s.Act.String(),
+		VGGBlocks:     s.VGGBlocks,
+		ConvsPerBlock: s.ConvsPerBlock,
+		Filters:       s.Filters,
+		FilterSize:    s.FilterSize,
+		PoolSize:      s.PoolSize,
+		SamePad:       s.SamePad,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler and validates the decoded
+// spec.
+func (s *Spec) UnmarshalJSON(data []byte) error {
+	var raw specJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return fmt.Errorf("nn: decoding spec: %w", err)
+	}
+	spec, err := raw.toSpec()
+	if err != nil {
+		return err
+	}
+	*s = *spec
+	return nil
+}
+
+func (raw specJSON) toSpec() (*Spec, error) {
+	var kind Kind
+	switch raw.Kind {
+	case "ffnn", "":
+		kind = FFNN
+	case "cnn":
+		kind = CNN
+	default:
+		return nil, fmt.Errorf("nn: unknown model kind %q", raw.Kind)
+	}
+	actName := raw.Activation
+	if actName == "" {
+		actName = "relu"
+	}
+	act, err := tensor.ParseActivation(actName)
+	if err != nil {
+		return nil, err
+	}
+	spec := &Spec{
+		Name:          raw.Name,
+		Kind:          kind,
+		InputShape:    raw.InputShape,
+		Hidden:        raw.Hidden,
+		Classes:       raw.Classes,
+		Act:           act,
+		VGGBlocks:     raw.VGGBlocks,
+		ConvsPerBlock: raw.ConvsPerBlock,
+		Filters:       raw.Filters,
+		FilterSize:    raw.FilterSize,
+		PoolSize:      raw.PoolSize,
+		SamePad:       raw.SamePad,
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+// ParseSpecJSON decodes and validates one spec document.
+func ParseSpecJSON(data []byte) (*Spec, error) {
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}

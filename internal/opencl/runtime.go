@@ -1,0 +1,217 @@
+package opencl
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"bomw/internal/device"
+	"bomw/internal/nn"
+	"bomw/internal/tensor"
+)
+
+// Runtime is the execution service the Dispatcher of Fig. 2 builds on:
+// models are compiled and their weights staged on every available device
+// up front (the training-phase hand-off), and classification batches are
+// then dispatched to whichever device the scheduler selects.
+type Runtime struct {
+	ctx *Context
+
+	mu       sync.Mutex
+	programs map[string]*Program // model name → compiled pipeline
+	observer func(device.Report)
+}
+
+// SetObserver installs a callback invoked once per executed command with
+// its device report — the hook the power instrumentation (internal/power)
+// uses to build its activity trace. Pass nil to detach.
+func (r *Runtime) SetObserver(fn func(device.Report)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.observer = fn
+}
+
+func (r *Runtime) notify(events []*Event) {
+	r.mu.Lock()
+	fn := r.observer
+	r.mu.Unlock()
+	if fn == nil {
+		return
+	}
+	for _, ev := range events {
+		fn(ev.Report)
+	}
+}
+
+// NewRuntime discovers platforms over the simulated devices and prepares
+// a shared context.
+func NewRuntime(sims ...*device.Device) (*Runtime, error) {
+	var devs []*ClDevice
+	for _, p := range DiscoverPlatforms(sims...) {
+		devs = append(devs, p.Devices...)
+	}
+	ctx, err := CreateContext(devs...)
+	if err != nil {
+		return nil, err
+	}
+	return &Runtime{ctx: ctx, programs: map[string]*Program{}}, nil
+}
+
+// Context exposes the runtime's OpenCL context.
+func (r *Runtime) Context() *Context { return r.ctx }
+
+// Devices lists the runtime's devices.
+func (r *Runtime) Devices() []*ClDevice { return r.ctx.Devices }
+
+// LoadModel compiles the network and registers it with every device —
+// the Model Building and Weights Building hand-off of Fig. 2. Loading is
+// part of the offline phase and charges no virtual time.
+func (r *Runtime) LoadModel(net *nn.Network) error {
+	prog, err := BuildProgram(net)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.programs[net.Name()]; dup {
+		return fmt.Errorf("opencl: model %q already loaded", net.Name())
+	}
+	r.programs[net.Name()] = prog
+	return nil
+}
+
+// Program returns the compiled pipeline for a loaded model.
+func (r *Runtime) Program(model string) (*Program, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.programs[model]
+	if !ok {
+		return nil, fmt.Errorf("opencl: model %q not loaded", model)
+	}
+	return p, nil
+}
+
+// Models lists loaded model names.
+func (r *Runtime) Models() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.programs))
+	for n := range r.programs {
+		names = append(names, n)
+	}
+	return names
+}
+
+// Result is the outcome of one dispatched classification batch.
+type Result struct {
+	Device    string
+	Model     string
+	Batch     int
+	Output    *tensor.Tensor // nil for timing-only estimates
+	Classes   []int          // nil for timing-only estimates
+	Events    []*Event
+	Submitted time.Duration
+	Completed time.Duration
+	EnergyJ   float64
+}
+
+// Latency returns submit-to-complete time, including queueing.
+func (r *Result) Latency() time.Duration { return r.Completed - r.Submitted }
+
+// ThroughputGbps returns input throughput for a given sample size.
+func (r *Result) ThroughputGbps(sampleBytes int64) float64 {
+	if r.Latency() <= 0 {
+		return 0
+	}
+	return float64(r.Batch) * float64(sampleBytes) * 8 / r.Latency().Seconds() / 1e9
+}
+
+// Classify dispatches a real batch to the named device at virtual time
+// at: input staged via write (discrete) or map (unified), one
+// NDRange launch per kernel, results read back. The returned result
+// carries both the actual classifications and the profiling log.
+func (r *Runtime) Classify(devName, model string, in *tensor.Tensor, at time.Duration) (*Result, error) {
+	return r.run(devName, model, in, in.Dim(0), at)
+}
+
+// Estimate charges the full command sequence for a batch of n samples
+// without executing the math — the fast path for characterisation sweeps
+// whose host compute would be prohibitive at 256K-sample batches.
+func (r *Runtime) Estimate(devName, model string, n int, at time.Duration) (*Result, error) {
+	return r.run(devName, model, nil, n, at)
+}
+
+func (r *Runtime) run(devName, model string, in *tensor.Tensor, n int, at time.Duration) (*Result, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("opencl: batch size must be positive, got %d", n)
+	}
+	dev, err := r.ctx.DeviceByName(devName)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := r.Program(model)
+	if err != nil {
+		return nil, err
+	}
+	if in != nil {
+		wantShape := prog.Net.InputShape()
+		if in.Rank() != len(wantShape)+1 {
+			return nil, fmt.Errorf("opencl: %s expects per-sample shape %v, got input %v", model, wantShape, in.Shape())
+		}
+		for i, d := range wantShape {
+			if in.Dim(i+1) != d {
+				return nil, fmt.Errorf("opencl: %s expects per-sample shape %v, got input %v", model, wantShape, in.Shape())
+			}
+		}
+	}
+
+	q := NewQueue(dev)
+	res := &Result{Device: devName, Model: model, Batch: n, Submitted: at}
+
+	// Stage the input: page-locked write over PCIe for discrete devices,
+	// zero-copy map for unified memory (§IV-B).
+	inBytes := int64(n) * prog.Net.SampleBytes()
+	if dev.UnifiedMemory() {
+		// clEnqueueMapBuffer: zero-copy and free on shared physical
+		// memory, but still logged for profiling fidelity.
+		q.push("clEnqueueMapBuffer", at, device.Report{Device: devName, Model: "map", Start: max(at, q.last)})
+	} else {
+		q.push("clEnqueueWriteBuffer", at, dev.Sim.Transfer(max(at, q.last), inBytes))
+	}
+
+	// Kernel pipeline.
+	x := in
+	for _, k := range prog.Kernels {
+		if x != nil {
+			x, _ = q.EnqueueNDRangeKernel(at, k, x)
+		} else {
+			q.push("clEnqueueNDRangeKernel:"+k.Name, at, dev.Sim.ExecuteCompute(max(at, q.last), k.Workload, n))
+		}
+	}
+
+	// Read results back on discrete devices; mapped output is free.
+	outBytes := int64(n) * int64(prog.Net.Classes()) * 4
+	if !dev.UnifiedMemory() {
+		q.push("clEnqueueReadBuffer", at, dev.Sim.Transfer(max(at, q.last), outBytes))
+	}
+
+	res.Completed = q.Finish(at)
+	res.Events = q.Events()
+	res.EnergyJ = q.EnergyJ()
+	r.notify(res.Events)
+	if x != nil {
+		res.Output = x
+		res.Classes = tensor.Argmax(x)
+	}
+	return res, nil
+}
+
+// State probes a device's condition at virtual time now — the scheduler's
+// "PCIe call to check the state of the discrete GPU" (§V-A).
+func (r *Runtime) State(devName string, now time.Duration) (device.State, error) {
+	dev, err := r.ctx.DeviceByName(devName)
+	if err != nil {
+		return device.State{}, err
+	}
+	return dev.Sim.StateAt(now), nil
+}

@@ -1,0 +1,176 @@
+package power
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"bomw/internal/device"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func recorderWithOneInterval() *Recorder {
+	r := NewRecorder()
+	r.Register("gpu", 50)
+	r.RecordInterval(Interval{Device: "gpu", Start: ms(100), End: ms(200), Watts: 200})
+	return r
+}
+
+func TestPowerAtIdleAndActive(t *testing.T) {
+	r := recorderWithOneInterval()
+	if got := r.PowerAt("gpu", ms(50)); got != 50 {
+		t.Fatalf("idle power = %g, want 50", got)
+	}
+	if got := r.PowerAt("gpu", ms(150)); got != 200 {
+		t.Fatalf("active power = %g, want 200", got)
+	}
+	if got := r.PowerAt("gpu", ms(200)); got != 50 {
+		t.Fatalf("power at interval end = %g, want idle 50", got)
+	}
+	if got := r.PowerAt("unknown", ms(0)); got != 0 {
+		t.Fatalf("unknown device power = %g, want 0", got)
+	}
+}
+
+func TestEnergyBetweenMixesIdleAndActive(t *testing.T) {
+	r := recorderWithOneInterval()
+	// [0, 300ms): 200ms idle at 50W + 100ms active at 200W = 10 + 20 J.
+	got := r.EnergyBetween("gpu", 0, ms(300))
+	if math.Abs(got-30) > 1e-9 {
+		t.Fatalf("energy = %g, want 30", got)
+	}
+	// Window clipped to half the interval.
+	got = r.EnergyBetween("gpu", ms(150), ms(200))
+	if math.Abs(got-10) > 1e-9 {
+		t.Fatalf("clipped energy = %g, want 10", got)
+	}
+	if r.EnergyBetween("gpu", ms(200), ms(100)) != 0 {
+		t.Fatal("inverted window should integrate to zero")
+	}
+}
+
+func TestRecordFromDeviceReport(t *testing.T) {
+	r := NewRecorder()
+	r.RegisterProfile(device.NvidiaGTX1080Ti())
+	d := device.New(device.NvidiaGTX1080Ti())
+	rep := d.Execute(0, device.Workload{
+		Model: "m", FlopsPerSample: 1e6, SampleBytes: 64, OutputBytes: 8,
+		WeightBytes: 1024, ActivationBytes: 64, ItemsPerSample: 100, Kernels: 1, AvgLayerWidth: 100,
+	}, 1024)
+	r.Record(rep)
+	name := device.NvidiaGTX1080Ti().Name
+	mid := rep.Start + rep.Latency/2
+	if got := r.PowerAt(name, mid); got <= device.NvidiaGTX1080Ti().IdleWatts {
+		t.Fatalf("mid-execution power %g should exceed idle", got)
+	}
+	e := r.EnergyBetween(name, rep.Start, rep.Start+rep.Latency)
+	if math.Abs(e-rep.DeviceEnergyJ)/rep.DeviceEnergyJ > 1e-6 {
+		t.Fatalf("integrated energy %g, want report's %g", e, rep.DeviceEnergyJ)
+	}
+	// Zero-latency reports are ignored.
+	r.Record(device.Report{Device: name})
+}
+
+func TestSeriesSampling(t *testing.T) {
+	r := recorderWithOneInterval()
+	s := r.Series("gpu", 0, ms(300), ms(50))
+	if len(s) != 6 {
+		t.Fatalf("series length = %d, want 6", len(s))
+	}
+	if s[0].Watts != 50 || s[3].Watts != 200 {
+		t.Fatalf("series values wrong: %+v", s)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive period did not panic")
+		}
+	}()
+	r.Series("gpu", 0, ms(10), 0)
+}
+
+func TestDevicesSorted(t *testing.T) {
+	r := NewRecorder()
+	r.Register("zeta", 1)
+	r.Register("alpha", 1)
+	got := r.Devices()
+	if len(got) != 2 || got[0] != "alpha" || got[1] != "zeta" {
+		t.Fatalf("Devices() = %v", got)
+	}
+}
+
+func TestOverlappingIntervalsTakeMax(t *testing.T) {
+	r := NewRecorder()
+	r.Register("d", 10)
+	r.RecordInterval(Interval{Device: "d", Start: 0, End: ms(100), Watts: 50})
+	r.RecordInterval(Interval{Device: "d", Start: ms(50), End: ms(150), Watts: 80})
+	if got := r.PowerAt("d", ms(75)); got != 80 {
+		t.Fatalf("overlapping power = %g, want max 80", got)
+	}
+}
+
+func TestNvidiaSMIQuery(t *testing.T) {
+	r := recorderWithOneInterval()
+	smi := &NvidiaSMI{Rec: r, Device: "gpu", Limit: 250}
+	if got := smi.PowerDraw(ms(150)); got != 200 {
+		t.Fatalf("PowerDraw = %g", got)
+	}
+	q := smi.Query(ms(150))
+	if !strings.Contains(q, "200.0W / 250W") || !strings.HasPrefix(q, "P0") {
+		t.Fatalf("Query = %q, want P0 200.0W / 250W", q)
+	}
+	if q := smi.Query(ms(10)); !strings.HasPrefix(q, "P8") {
+		t.Fatalf("idle Query = %q, want P8 state", q)
+	}
+}
+
+func TestPCMPackageAggregation(t *testing.T) {
+	r := NewRecorder()
+	r.Register("cpu", 8)
+	r.Register("igpu", 2)
+	r.RecordInterval(Interval{Device: "cpu", Start: 0, End: ms(100), Watts: 60})
+	r.RecordInterval(Interval{Device: "igpu", Start: 0, End: ms(100), Watts: 18})
+	pcm := &PCM{Rec: r, CPU: "cpu", IGPU: "igpu"}
+	if got := pcm.PackagePower(ms(50)); got != 78 {
+		t.Fatalf("PackagePower = %g, want 78", got)
+	}
+	if got := pcm.PackageEnergy(0, ms(100)); math.Abs(got-7.8) > 1e-9 {
+		t.Fatalf("PackageEnergy = %g, want 7.8", got)
+	}
+	solo := &PCM{Rec: r, CPU: "cpu"}
+	if got := solo.PackagePower(ms(50)); got != 60 {
+		t.Fatalf("cores-only PackagePower = %g, want 60", got)
+	}
+}
+
+func TestAccountantComponents(t *testing.T) {
+	var a Accountant
+	if c := a.ComponentsFor(device.CPU); len(c) != 1 || c[0] != "cpu-package" {
+		t.Fatalf("CPU components = %v", c)
+	}
+	if c := a.ComponentsFor(device.IntegratedGPU); len(c) != 2 {
+		t.Fatalf("iGPU components = %v", c)
+	}
+	if c := a.ComponentsFor(device.DiscreteGPU); len(c) != 2 || c[1] != "board" {
+		t.Fatalf("dGPU components = %v (must include the host)", c)
+	}
+	if a.ComponentsFor(device.Kind(99)) != nil {
+		t.Fatal("unknown kind should have no components")
+	}
+}
+
+func TestAccountantEfficiency(t *testing.T) {
+	var a Accountant
+	rep := device.Report{Batch: 100, DeviceEnergyJ: 4, HostEnergyJ: 1, Latency: time.Second}
+	if a.EnergyOf(rep) != 5 {
+		t.Fatalf("EnergyOf = %g, want 5", a.EnergyOf(rep))
+	}
+	eff := a.EfficiencyOf(rep, 125) // 100 samples × 1000 bits
+	if eff.JoulesPerBatch != 5 || eff.JoulesPerSample != 0.05 {
+		t.Fatalf("efficiency = %+v", eff)
+	}
+	if math.Abs(eff.JoulesPerBit-5e-5) > 1e-12 {
+		t.Fatalf("JoulesPerBit = %g", eff.JoulesPerBit)
+	}
+}

@@ -1,0 +1,71 @@
+package power
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"bomw/internal/device"
+	"bomw/internal/opencl"
+)
+
+// Monitor couples a Recorder to an OpenCL runtime: every executed command
+// feeds the power trace automatically, giving the live view the paper's
+// nvidia-smi/PCM loops provide (§III-A1).
+type Monitor struct {
+	Rec *Recorder
+}
+
+// Attach registers all runtime devices and installs the observer hook.
+// Detach by calling rt.SetObserver(nil).
+func Attach(rt *opencl.Runtime) *Monitor {
+	rec := NewRecorder()
+	for _, d := range rt.Devices() {
+		rec.RegisterProfile(d.Sim.Profile())
+	}
+	m := &Monitor{Rec: rec}
+	rt.SetObserver(func(rep device.Report) { rec.Record(rep) })
+	return m
+}
+
+// SMI returns an nvidia-smi view over the first discrete GPU, or nil if
+// none is registered under that name.
+func (m *Monitor) SMI(deviceName string, limitWatts float64) *NvidiaSMI {
+	return &NvidiaSMI{Rec: m.Rec, Device: deviceName, Limit: limitWatts}
+}
+
+// PCM returns an Intel-PCM view over the CPU package.
+func (m *Monitor) PCM(cpuName, igpuName string) *PCM {
+	return &PCM{Rec: m.Rec, CPU: cpuName, IGPU: igpuName}
+}
+
+// WriteSeriesCSV samples every registered device over [t0, t1) at the
+// given period and writes a timeline CSV: one row per timestamp, one
+// column per device — the data behind a Fig. 3 power plot.
+func (m *Monitor) WriteSeriesCSV(w io.Writer, t0, t1, period time.Duration) error {
+	if period <= 0 {
+		return fmt.Errorf("power: sampling period must be positive")
+	}
+	devices := m.Rec.Devices()
+	if len(devices) == 0 {
+		return fmt.Errorf("power: no devices registered")
+	}
+	cw := csv.NewWriter(w)
+	header := append([]string{"t_us"}, devices...)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("power: writing timeline header: %w", err)
+	}
+	for t := t0; t < t1; t += period {
+		row := []string{strconv.FormatInt(t.Microseconds(), 10)}
+		for _, d := range devices {
+			row = append(row, strconv.FormatFloat(m.Rec.PowerAt(d, t), 'g', 6, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("power: writing timeline row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,68 @@
+package repro
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestQuickReproductionPasses(t *testing.T) {
+	var buf bytes.Buffer
+	rep, err := Run(&buf, Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass, total := rep.Passed()
+	if total < 10 {
+		t.Fatalf("only %d checks ran", total)
+	}
+	if pass != total {
+		for _, c := range rep.Checks {
+			if !c.Pass {
+				t.Errorf("FAILED check %s: claim %q, measured %s", c.Name, c.Claim, c.Measured)
+			}
+		}
+		t.Fatalf("%d/%d checks passed", pass, total)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# bomw reproduction report",
+		"Fig3a-simple-warm",
+		"TableII-forest-best",
+		"Fig6-unseen-accuracy",
+		"VI-energy-saving",
+		"✓ PASS",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q", want)
+		}
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Fatal("report contains failures")
+	}
+}
+
+func TestReportDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if _, err := Run(&a, Options{Quick: true, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(&b, Options{Quick: true, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	// Strip the wall-clock duration line before comparing.
+	strip := func(s string) string {
+		lines := strings.Split(s, "\n")
+		var out []string
+		for _, l := range lines {
+			if strings.Contains(l, "checks passed ·") {
+				continue
+			}
+			out = append(out, l)
+		}
+		return strings.Join(out, "\n")
+	}
+	if strip(a.String()) != strip(b.String()) {
+		t.Fatal("same-seed reproductions differ")
+	}
+}

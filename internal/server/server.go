@@ -1,0 +1,310 @@
+// Package server exposes the adaptive scheduler as an HTTP inference
+// service — the deployable form of the paper's Fig. 5 system. Clients
+// POST classification batches and the service answers with the real
+// class labels, the device the scheduler selected, and the simulated
+// latency/energy cost; models can be added at run time (§V-A: "it is
+// also typical to dynamically add models"), and device and scheduler
+// state are observable.
+//
+// Endpoints:
+//
+//	POST /v1/classify   {"model","policy","samples":[[...]]}
+//	POST /v1/models     {"name","kind","input_shape",...}  (load a model)
+//	GET  /v1/models     list loaded models
+//	GET  /v1/devices    device names, kinds and probe state
+//	GET  /v1/stats      scheduler decision statistics
+//
+// Virtual time is mapped to wall-clock time since the server started, so
+// the GPU warms and cools as real seconds pass.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"bomw/internal/core"
+	"bomw/internal/nn"
+	"bomw/internal/tensor"
+)
+
+// Server is the HTTP facade over a trained scheduler.
+type Server struct {
+	sched *core.Scheduler
+	start time.Time
+	mux   *http.ServeMux
+
+	mu     sync.Mutex
+	seed   int64
+	loaded map[string]bool
+}
+
+// New wraps a scheduler. seed drives the weight initialisation of models
+// loaded through the API.
+func New(sched *core.Scheduler, seed int64) *Server {
+	s := &Server{sched: sched, start: time.Now(), seed: seed, loaded: map[string]bool{}}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/classify", s.handleClassify)
+	s.mux.HandleFunc("/v1/models", s.handleModels)
+	s.mux.HandleFunc("/v1/devices", s.handleDevices)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/v1/decisions", s.handleDecisions)
+	sched.EnableAudit(1024)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// now maps wall time onto the scheduler's virtual clock.
+func (s *Server) now() time.Duration { return time.Since(s.start) }
+
+func httpError(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// ---- /v1/classify ------------------------------------------------------
+
+// ClassifyRequest is the POST /v1/classify payload.
+type ClassifyRequest struct {
+	Model   string      `json:"model"`
+	Policy  string      `json:"policy"` // best-throughput | lowest-latency | energy-efficiency
+	Samples [][]float32 `json:"samples"`
+}
+
+// ClassifyResponse is the POST /v1/classify reply.
+type ClassifyResponse struct {
+	Model     string  `json:"model"`
+	Device    string  `json:"device"`
+	Policy    string  `json:"policy"`
+	GPUWarm   bool    `json:"gpu_warm"`
+	Spilled   bool    `json:"spilled"`
+	Classes   []int   `json:"classes"`
+	LatencyUS int64   `json:"latency_us"`
+	EnergyJ   float64 `json:"energy_j"`
+}
+
+func parsePolicy(s string) (core.Policy, error) {
+	switch s {
+	case "best-throughput", "":
+		return core.BestThroughput, nil
+	case "lowest-latency":
+		return core.LowestLatency, nil
+	case "energy-efficiency":
+		return core.EnergyEfficiency, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q", s)
+	}
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req ClassifyRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	pol, err := parsePolicy(req.Policy)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(req.Samples) == 0 {
+		httpError(w, http.StatusBadRequest, "no samples")
+		return
+	}
+	spec, err := s.sched.Dispatcher().Spec(req.Model)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	// Flatten samples into the model's input tensor.
+	per := 1
+	for _, d := range spec.InputShape {
+		per *= d
+	}
+	flat := make([]float32, 0, len(req.Samples)*per)
+	for i, sm := range req.Samples {
+		if len(sm) != per {
+			httpError(w, http.StatusBadRequest, "sample %d has %d values, model %s needs %d", i, len(sm), req.Model, per)
+			return
+		}
+		flat = append(flat, sm...)
+	}
+	shape := append([]int{len(req.Samples)}, spec.InputShape...)
+	in := tensor.FromSlice(flat, shape...)
+
+	res, dec, err := s.sched.Classify(req.Model, in, pol, s.now())
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if err := s.sched.Observe(dec, res); err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, ClassifyResponse{
+		Model:     req.Model,
+		Device:    dec.Device,
+		Policy:    dec.Policy.String(),
+		GPUWarm:   dec.GPUWarm,
+		Spilled:   dec.Spilled,
+		Classes:   res.Classes,
+		LatencyUS: res.Latency().Microseconds(),
+		EnergyJ:   res.EnergyJ,
+	})
+}
+
+// ---- /v1/models --------------------------------------------------------
+
+// ModelSpec is the JSON shape of an architecture (POST /v1/models).
+type ModelSpec struct {
+	Name          string `json:"name"`
+	Kind          string `json:"kind"` // "ffnn" | "cnn"
+	InputShape    []int  `json:"input_shape"`
+	Hidden        []int  `json:"hidden"`
+	Classes       int    `json:"classes"`
+	Activation    string `json:"activation"` // default "relu"
+	VGGBlocks     int    `json:"vgg_blocks,omitempty"`
+	ConvsPerBlock int    `json:"convs_per_block,omitempty"`
+	Filters       int    `json:"filters,omitempty"`
+	FilterSize    int    `json:"filter_size,omitempty"`
+	PoolSize      int    `json:"pool_size,omitempty"`
+	SamePad       bool   `json:"same_pad,omitempty"`
+}
+
+// ToSpec converts the JSON form into a validated nn.Spec. The wire shape
+// is nn's canonical spec JSON, so decoding goes through one codec.
+func (m ModelSpec) ToSpec() (*nn.Spec, error) {
+	raw, err := json.Marshal(m)
+	if err != nil {
+		return nil, err
+	}
+	return nn.ParseSpecJSON(raw)
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, map[string]interface{}{"models": s.sched.Dispatcher().Models()})
+	case http.MethodPost:
+		var m ModelSpec
+		if err := json.NewDecoder(r.Body).Decode(&m); err != nil {
+			httpError(w, http.StatusBadRequest, "decoding model spec: %v", err)
+			return
+		}
+		spec, err := m.ToSpec()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.loaded[spec.Name] {
+			httpError(w, http.StatusConflict, "model %q already loaded", spec.Name)
+			return
+		}
+		if err := s.sched.LoadModel(spec, s.seed); err != nil {
+			httpError(w, http.StatusConflict, "%v", err)
+			return
+		}
+		s.loaded[spec.Name] = true
+		w.WriteHeader(http.StatusCreated)
+		writeJSON(w, map[string]string{"loaded": spec.Name})
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "GET or POST required")
+	}
+}
+
+// ---- /v1/devices and /v1/stats ------------------------------------------
+
+// DeviceStatus is one entry of GET /v1/devices.
+type DeviceStatus struct {
+	Name       string  `json:"name"`
+	Warm       bool    `json:"warm"`
+	ClockFrac  float64 `json:"clock_frac"`
+	BusyMicros int64   `json:"busy_us"`
+	Slowdown   float64 `json:"observed_slowdown"`
+	Degraded   bool    `json:"degraded"`
+}
+
+func (s *Server) handleDevices(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	now := s.now()
+	var out []DeviceStatus
+	for _, name := range s.sched.Devices() {
+		st, err := s.sched.Runtime().State(name, now)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		slow, degraded := s.sched.DeviceHealth(name)
+		busy := st.BusyUntil - now
+		if busy < 0 {
+			busy = 0
+		}
+		out = append(out, DeviceStatus{
+			Name:       name,
+			Warm:       st.Warm,
+			ClockFrac:  st.ClockFrac,
+			BusyMicros: busy.Microseconds(),
+			Slowdown:   slow,
+			Degraded:   degraded,
+		})
+	}
+	writeJSON(w, map[string]interface{}{"devices": out})
+}
+
+// handleDecisions exposes the scheduler's decision audit trail
+// (GET /v1/decisions?n=50).
+func (s *Server) handleDecisions(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	n := 50
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		if _, err := fmt.Sscanf(raw, "%d", &n); err != nil || n <= 0 {
+			httpError(w, http.StatusBadRequest, "invalid n %q", raw)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.sched.WriteAuditJSON(w, n); err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	st := s.sched.Stats()
+	perPolicy := map[string]int{}
+	for pol, n := range st.PerPolicy {
+		perPolicy[pol.String()] = n
+	}
+	writeJSON(w, map[string]interface{}{
+		"decisions":  st.Decisions,
+		"spills":     st.Spills,
+		"per_device": st.PerDevice,
+		"per_policy": perPolicy,
+		"uptime_us":  s.now().Microseconds(),
+	})
+}

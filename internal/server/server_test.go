@@ -1,0 +1,296 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"bomw/internal/core"
+	"bomw/internal/models"
+)
+
+var (
+	srvOnce sync.Once
+	srv     *httptest.Server
+	srvErr  error
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srvOnce.Do(func() {
+		sched, err := core.New(core.Config{
+			TrainModels: models.PaperModels(),
+			Batches:     []int{8, 512, 8192, 65536},
+			Reps:        1,
+		})
+		if err != nil {
+			srvErr = err
+			return
+		}
+		if err := sched.LoadModel(models.Simple(), 1); err != nil {
+			srvErr = err
+			return
+		}
+		srv = httptest.NewServer(New(sched, 1))
+	})
+	if srvErr != nil {
+		t.Fatal(srvErr)
+	}
+	return srv
+}
+
+func post(t *testing.T, url string, body interface{}) *http.Response {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decode(t *testing.T, resp *http.Response, v interface{}) {
+	t.Helper()
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassifyEndpoint(t *testing.T) {
+	ts := testServer(t)
+	samples := make([][]float32, 4)
+	for i := range samples {
+		samples[i] = []float32{0.1, 0.2, 0.3, 0.4}
+	}
+	resp := post(t, ts.URL+"/v1/classify", ClassifyRequest{
+		Model: "simple", Policy: "lowest-latency", Samples: samples,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out ClassifyResponse
+	decode(t, resp, &out)
+	if len(out.Classes) != 4 {
+		t.Fatalf("classes = %v", out.Classes)
+	}
+	if out.Device == "" || out.LatencyUS <= 0 || out.EnergyJ <= 0 {
+		t.Fatalf("degenerate response: %+v", out)
+	}
+	if out.Policy != "lowest-latency" {
+		t.Fatalf("policy echoed as %q", out.Policy)
+	}
+}
+
+func TestClassifyErrors(t *testing.T) {
+	ts := testServer(t)
+	cases := []struct {
+		body interface{}
+		want int
+	}{
+		{ClassifyRequest{Model: "simple", Samples: nil}, http.StatusBadRequest},
+		{ClassifyRequest{Model: "nope", Samples: [][]float32{{1, 2, 3, 4}}}, http.StatusNotFound},
+		{ClassifyRequest{Model: "simple", Policy: "weird", Samples: [][]float32{{1, 2, 3, 4}}}, http.StatusBadRequest},
+		{ClassifyRequest{Model: "simple", Samples: [][]float32{{1, 2}}}, http.StatusBadRequest}, // wrong width
+	}
+	for i, c := range cases {
+		resp := post(t, ts.URL+"/v1/classify", c.body)
+		if resp.StatusCode != c.want {
+			t.Fatalf("case %d: status %d, want %d", i, resp.StatusCode, c.want)
+		}
+		resp.Body.Close()
+	}
+	// GET not allowed.
+	resp, err := http.Get(ts.URL + "/v1/classify")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET classify status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestDynamicModelLoading(t *testing.T) {
+	ts := testServer(t)
+	spec := ModelSpec{
+		Name:       "live-ffnn",
+		Kind:       "ffnn",
+		InputShape: []int{16},
+		Hidden:     []int{32, 16},
+		Classes:    4,
+	}
+	resp := post(t, ts.URL+"/v1/models", spec)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("load status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	// Duplicate load conflicts.
+	resp = post(t, ts.URL+"/v1/models", spec)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate load status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	// The new model is listed and classifiable immediately (§V-A).
+	var list struct {
+		Models []string `json:"models"`
+	}
+	getResp, err := http.Get(ts.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decode(t, getResp, &list)
+	found := false
+	for _, m := range list.Models {
+		if m == "live-ffnn" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("live-ffnn missing from %v", list.Models)
+	}
+	sample := make([]float32, 16)
+	resp = post(t, ts.URL+"/v1/classify", ClassifyRequest{
+		Model: "live-ffnn", Samples: [][]float32{sample},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("classify on dynamic model: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestModelSpecValidation(t *testing.T) {
+	ts := testServer(t)
+	bad := []ModelSpec{
+		{Name: "x", Kind: "rnn", InputShape: []int{4}, Classes: 2},
+		{Name: "x", Kind: "ffnn", InputShape: []int{4}, Classes: 0},
+		{Name: "x", Kind: "ffnn", InputShape: []int{4}, Classes: 2, Activation: "swish"},
+		{Name: "x", Kind: "cnn", InputShape: []int{4}, Classes: 2},
+	}
+	for i, m := range bad {
+		resp := post(t, ts.URL+"/v1/models", m)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("case %d: status %d, want 400", i, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}
+
+func TestDevicesEndpoint(t *testing.T) {
+	ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/v1/devices")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Devices []DeviceStatus `json:"devices"`
+	}
+	decode(t, resp, &out)
+	if len(out.Devices) != 3 {
+		t.Fatalf("devices = %d", len(out.Devices))
+	}
+	for _, d := range out.Devices {
+		if d.Name == "" || d.ClockFrac <= 0 || d.Slowdown <= 0 {
+			t.Fatalf("degenerate device status: %+v", d)
+		}
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	ts := testServer(t)
+	// Make at least one decision first.
+	resp := post(t, ts.URL+"/v1/classify", ClassifyRequest{
+		Model: "simple", Samples: [][]float32{{1, 2, 3, 4}},
+	})
+	resp.Body.Close()
+	r2, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Decisions int            `json:"decisions"`
+		PerDevice map[string]int `json:"per_device"`
+	}
+	decode(t, r2, &out)
+	if out.Decisions < 1 || len(out.PerDevice) == 0 {
+		t.Fatalf("stats = %+v", out)
+	}
+}
+
+func TestConcurrentClassifyRequests(t *testing.T) {
+	// The server must survive parallel clients: the scheduler's state
+	// (device queues, health monitor, stats) is shared.
+	ts := testServer(t)
+	const clients = 16
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		go func() {
+			samples := [][]float32{{0.5, 0.5, 0.5, 0.5}}
+			for i := 0; i < 5; i++ {
+				resp, err := http.Post(ts.URL+"/v1/classify", "application/json",
+					bytes.NewReader(mustJSON(ClassifyRequest{Model: "simple", Samples: samples})))
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("status %d", resp.StatusCode)
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	for c := 0; c < clients; c++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func mustJSON(v interface{}) []byte {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return raw
+}
+
+func TestDecisionsEndpoint(t *testing.T) {
+	ts := testServer(t)
+	// Generate at least one decision.
+	resp := post(t, ts.URL+"/v1/classify", ClassifyRequest{
+		Model: "simple", Samples: [][]float32{{1, 2, 3, 4}},
+	})
+	resp.Body.Close()
+	r, err := http.Get(ts.URL + "/v1/decisions?n=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []map[string]interface{}
+	decode(t, r, &entries)
+	if len(entries) == 0 {
+		t.Fatal("audit trail empty after classification")
+	}
+	last := entries[len(entries)-1]
+	if last["model"] != "simple" || last["device"] == "" {
+		t.Fatalf("audit entry wrong: %v", last)
+	}
+	// Bad n rejected.
+	r2, err := http.Get(ts.URL + "/v1/decisions?n=-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad n status %d", r2.StatusCode)
+	}
+}

@@ -1,0 +1,163 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Activation identifies a non-linear function applied element-wise after a
+// layer, matching the paper's relu/tanh/sigmoid trio plus the identity and
+// softmax used on output layers.
+type Activation int
+
+const (
+	// Identity passes values through unchanged.
+	Identity Activation = iota
+	// ReLU is max(0, x).
+	ReLU
+	// Tanh is the hyperbolic tangent.
+	Tanh
+	// Sigmoid is the logistic function 1/(1+e^-x).
+	Sigmoid
+	// Softmax normalises each row into a probability distribution. It is
+	// only valid on rank-2 tensors (rows = samples).
+	Softmax
+)
+
+// String returns the lowercase activation name as used in model descriptors.
+func (a Activation) String() string {
+	switch a {
+	case Identity:
+		return "identity"
+	case ReLU:
+		return "relu"
+	case Tanh:
+		return "tanh"
+	case Sigmoid:
+		return "sigmoid"
+	case Softmax:
+		return "softmax"
+	default:
+		return fmt.Sprintf("Activation(%d)", int(a))
+	}
+}
+
+// ParseActivation converts a descriptor name into an Activation.
+func ParseActivation(s string) (Activation, error) {
+	switch s {
+	case "identity", "linear", "":
+		return Identity, nil
+	case "relu":
+		return ReLU, nil
+	case "tanh":
+		return Tanh, nil
+	case "sigmoid":
+		return Sigmoid, nil
+	case "softmax":
+		return Softmax, nil
+	default:
+		return Identity, fmt.Errorf("tensor: unknown activation %q", s)
+	}
+}
+
+// Apply applies the activation to t in place, parallelised over the pool.
+func (a Activation) Apply(pool *Pool, t *Tensor) {
+	switch a {
+	case Identity:
+	case ReLU:
+		d := t.data
+		pool.For(len(d), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if d[i] < 0 {
+					d[i] = 0
+				}
+			}
+		})
+	case Tanh:
+		d := t.data
+		pool.For(len(d), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				d[i] = float32(math.Tanh(float64(d[i])))
+			}
+		})
+	case Sigmoid:
+		d := t.data
+		pool.For(len(d), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				d[i] = float32(1 / (1 + math.Exp(-float64(d[i]))))
+			}
+		})
+	case Softmax:
+		if t.Rank() != 2 {
+			panic(fmt.Sprintf("tensor: softmax needs a rank-2 tensor, got %v", t.Shape()))
+		}
+		m, n := t.Dim(0), t.Dim(1)
+		d := t.data
+		pool.For(m, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				row := d[i*n : (i+1)*n]
+				softmaxRow(row)
+			}
+		})
+	default:
+		panic(fmt.Sprintf("tensor: unknown activation %d", int(a)))
+	}
+}
+
+func softmaxRow(row []float32) {
+	maxv := row[0]
+	for _, v := range row[1:] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	for i, v := range row {
+		e := math.Exp(float64(v - maxv))
+		row[i] = float32(e)
+		sum += e
+	}
+	inv := float32(1 / sum)
+	for i := range row {
+		row[i] *= inv
+	}
+}
+
+// FlopsPerElement returns the approximate floating-point cost of the
+// activation per element; used by the device cost models.
+func (a Activation) FlopsPerElement() int64 {
+	switch a {
+	case Identity:
+		return 0
+	case ReLU:
+		return 1
+	case Tanh, Sigmoid:
+		return 8 // transcendental approximated as ~8 flops on all devices
+	case Softmax:
+		return 10
+	default:
+		return 1
+	}
+}
+
+// Argmax returns the index of the maximum value in each row of a rank-2
+// tensor; this is the classification decision of the paper's inference
+// kernels.
+func Argmax(t *Tensor) []int {
+	if t.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: Argmax needs a rank-2 tensor, got %v", t.Shape()))
+	}
+	m, n := t.Dim(0), t.Dim(1)
+	out := make([]int, m)
+	for i := 0; i < m; i++ {
+		row := t.data[i*n : (i+1)*n]
+		best := 0
+		for j, v := range row {
+			if v > row[best] {
+				best = j
+			}
+		}
+		out[i] = best
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestActivationStringRoundTrip(t *testing.T) {
+	for _, a := range []Activation{Identity, ReLU, Tanh, Sigmoid, Softmax} {
+		got, err := ParseActivation(a.String())
+		if err != nil {
+			t.Fatalf("ParseActivation(%q): %v", a.String(), err)
+		}
+		if got != a {
+			t.Fatalf("round trip %v -> %v", a, got)
+		}
+	}
+	if _, err := ParseActivation("swish"); err == nil {
+		t.Fatal("ParseActivation accepted unknown name")
+	}
+	if a, err := ParseActivation(""); err != nil || a != Identity {
+		t.Fatal("empty activation should parse as identity")
+	}
+	if a, err := ParseActivation("linear"); err != nil || a != Identity {
+		t.Fatal("linear should alias identity")
+	}
+}
+
+func TestReLU(t *testing.T) {
+	v := FromSlice([]float32{-2, -0.5, 0, 0.5, 2}, 5)
+	ReLU.Apply(Serial, v)
+	want := FromSlice([]float32{0, 0, 0, 0.5, 2}, 5)
+	if !v.Equal(want) {
+		t.Fatalf("ReLU = %v, want %v", v, want)
+	}
+}
+
+func TestIdentityNoop(t *testing.T) {
+	v := FromSlice([]float32{-1, 2}, 2)
+	before := v.Clone()
+	Identity.Apply(Serial, v)
+	if !v.Equal(before) {
+		t.Fatal("Identity modified values")
+	}
+}
+
+func TestTanhSigmoidValues(t *testing.T) {
+	v := FromSlice([]float32{0, 1}, 2)
+	Tanh.Apply(Serial, v)
+	if v.At(0) != 0 || math.Abs(float64(v.At(1))-math.Tanh(1)) > 1e-6 {
+		t.Fatalf("Tanh = %v", v)
+	}
+	w := FromSlice([]float32{0, -1000, 1000}, 3)
+	Sigmoid.Apply(Serial, w)
+	if w.At(0) != 0.5 || w.At(1) > 1e-6 || w.At(2) < 1-1e-6 {
+		t.Fatalf("Sigmoid = %v", w)
+	}
+}
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := randTensor(rng, 5, 7)
+	Softmax.Apply(Serial, m)
+	for i := 0; i < 5; i++ {
+		var sum float64
+		for _, v := range m.Row(i) {
+			if v < 0 || v > 1 {
+				t.Fatalf("softmax value %g out of [0,1]", v)
+			}
+			sum += float64(v)
+		}
+		if math.Abs(sum-1) > 1e-4 {
+			t.Fatalf("softmax row %d sums to %g", i, sum)
+		}
+	}
+}
+
+func TestSoftmaxNumericallyStable(t *testing.T) {
+	m := FromSlice([]float32{1000, 1000, 999}, 1, 3)
+	Softmax.Apply(Serial, m)
+	for _, v := range m.Data() {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			t.Fatalf("softmax overflowed: %v", m)
+		}
+	}
+}
+
+func TestSoftmaxRankPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("softmax on rank-1 did not panic")
+		}
+	}()
+	Softmax.Apply(Serial, New(3))
+}
+
+func TestActivationsParallelMatchSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, a := range []Activation{ReLU, Tanh, Sigmoid} {
+		v := randTensor(rng, 1000)
+		w := v.Clone()
+		a.Apply(Serial, v)
+		a.Apply(NewPool(8, 64), w)
+		if !v.ApproxEqual(w, 1e-6) {
+			t.Fatalf("%v parallel/serial mismatch", a)
+		}
+	}
+}
+
+func TestFlopsPerElementMonotone(t *testing.T) {
+	if Identity.FlopsPerElement() != 0 {
+		t.Fatal("identity should be free")
+	}
+	if ReLU.FlopsPerElement() <= 0 || Tanh.FlopsPerElement() <= ReLU.FlopsPerElement() {
+		t.Fatal("transcendentals should cost more than relu")
+	}
+}
+
+func TestArgmax(t *testing.T) {
+	m := FromSlice([]float32{0.1, 0.9, 0.0, 0.5, 0.2, 0.3}, 2, 3)
+	got := Argmax(m)
+	if got[0] != 1 || got[1] != 0 {
+		t.Fatalf("Argmax = %v, want [1 0]", got)
+	}
+}
+
+func TestArgmaxRankPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Argmax on rank-1 did not panic")
+		}
+	}()
+	Argmax(New(3))
+}
+
+// Property: softmax preserves the argmax of each row.
+func TestPropertySoftmaxPreservesArgmax(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := randTensor(r, 3, 5)
+		before := Argmax(m)
+		Softmax.Apply(Serial, m)
+		after := Argmax(m)
+		for i := range before {
+			if before[i] != after[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ReLU is idempotent.
+func TestPropertyReLUIdempotent(t *testing.T) {
+	f := func(raw []float32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		v := FromSlice(append([]float32(nil), raw...), len(raw))
+		ReLU.Apply(Serial, v)
+		once := v.Clone()
+		ReLU.Apply(Serial, v)
+		return v.Equal(once)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,214 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConv2DKnownValues(t *testing.T) {
+	// 1 batch, 1 channel, 3x3 input; one 2x2 averaging-ish filter.
+	in := FromSlice([]float32{
+		1, 2, 3,
+		4, 5, 6,
+		7, 8, 9,
+	}, 1, 1, 3, 3)
+	f := FromSlice([]float32{1, 0, 0, 1}, 1, 1, 2, 2) // main-diagonal sum
+	out := Conv2D(Serial, in, f, nil)
+	want := FromSlice([]float32{
+		1 + 5, 2 + 6,
+		4 + 8, 5 + 9,
+	}, 1, 1, 2, 2)
+	if !out.Equal(want) {
+		t.Fatalf("Conv2D = %v, want %v", out, want)
+	}
+}
+
+func TestConv2DBias(t *testing.T) {
+	in := New(1, 1, 2, 2)
+	f := New(2, 1, 1, 1) // two 1x1 zero filters
+	bias := FromSlice([]float32{3, -1}, 2)
+	out := Conv2D(Serial, in, f, bias)
+	if out.At(0, 0, 1, 1) != 3 || out.At(0, 1, 0, 0) != -1 {
+		t.Fatalf("Conv2D bias not applied: %v", out)
+	}
+}
+
+func TestConv2DMultiChannelAccumulates(t *testing.T) {
+	// Two input channels of ones; 1x1 filter with weights 2 and 3 → 5.
+	in := New(1, 2, 2, 2)
+	in.Fill(1)
+	f := FromSlice([]float32{2, 3}, 1, 2, 1, 1)
+	out := Conv2D(Serial, in, f, nil)
+	for _, v := range out.Data() {
+		if v != 5 {
+			t.Fatalf("multi-channel accumulation wrong: %v", out)
+		}
+	}
+}
+
+func TestConv2DShapePanics(t *testing.T) {
+	cases := []func(){
+		func() { Conv2D(Serial, New(1, 1, 3, 3), New(1, 2, 2, 2), nil) },    // channel mismatch
+		func() { Conv2D(Serial, New(1, 1, 2, 2), New(1, 1, 3, 3), nil) },    // filter too large
+		func() { Conv2D(Serial, New(1, 1, 3), New(1, 1, 2, 2), nil) },       // bad input rank
+		func() { Conv2D(Serial, New(1, 1, 3, 3), New(1, 1, 2, 2), New(2)) }, // bad bias
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestConv2DParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	in := randTensor(rng, 3, 4, 9, 9)
+	f := randTensor(rng, 8, 4, 3, 3)
+	bias := randTensor(rng, 8)
+	serial := Conv2D(Serial, in, f, bias)
+	par := Conv2D(NewPool(8, 2), in, f, bias)
+	if !serial.ApproxEqual(par, 1e-4) {
+		t.Fatal("parallel Conv2D differs from serial")
+	}
+}
+
+func TestConv2DIm2ColMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, shape := range [][2][4]int{
+		{{1, 1, 5, 5}, {1, 1, 3, 3}},
+		{{2, 3, 8, 8}, {4, 3, 3, 3}},
+		{{1, 2, 6, 7}, {3, 2, 2, 4}},
+	} {
+		in := randTensor(rng, shape[0][0], shape[0][1], shape[0][2], shape[0][3])
+		f := randTensor(rng, shape[1][0], shape[1][1], shape[1][2], shape[1][3])
+		bias := randTensor(rng, shape[1][0])
+		direct := Conv2D(Default, in, f, bias)
+		lowered := Conv2DIm2Col(Default, in, f, bias)
+		if !direct.ApproxEqual(lowered, 1e-3) {
+			t.Fatalf("im2col lowering mismatch for %v", shape)
+		}
+	}
+}
+
+func TestIm2ColShape(t *testing.T) {
+	in := New(2, 3, 5, 5)
+	cols := Im2Col(in, 3, 3)
+	if cols.Dim(0) != 2*3*3 || cols.Dim(1) != 3*3*3 {
+		t.Fatalf("Im2Col shape = %v, want [18 27]", cols.Shape())
+	}
+}
+
+func TestIm2ColPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Im2Col with oversized window did not panic")
+		}
+	}()
+	Im2Col(New(1, 1, 2, 2), 3, 3)
+}
+
+func TestMaxPool2DKnownValues(t *testing.T) {
+	in := FromSlice([]float32{
+		1, 2, 5, 6,
+		3, 4, 7, 8,
+		-1, -2, 0, 0,
+		-3, -4, 9, 0,
+	}, 1, 1, 4, 4)
+	out := MaxPool2D(Serial, in, 2)
+	want := FromSlice([]float32{4, 8, -1, 9}, 1, 1, 2, 2)
+	if !out.Equal(want) {
+		t.Fatalf("MaxPool2D = %v, want %v", out, want)
+	}
+}
+
+func TestMaxPool2DRaggedTruncates(t *testing.T) {
+	in := New(1, 1, 5, 5)
+	in.Fill(1)
+	out := MaxPool2D(Serial, in, 2)
+	if out.Dim(2) != 2 || out.Dim(3) != 2 {
+		t.Fatalf("ragged pooling shape = %v, want [1 1 2 2]", out.Shape())
+	}
+}
+
+func TestMaxPool2DPanics(t *testing.T) {
+	for i, fn := range []func(){
+		func() { MaxPool2D(Serial, New(1, 1, 2), 2) },
+		func() { MaxPool2D(Serial, New(1, 1, 2, 2), 0) },
+		func() { MaxPool2D(Serial, New(1, 1, 2, 2), 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMaxPool2DParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	in := randTensor(rng, 4, 6, 8, 8)
+	a := MaxPool2D(Serial, in, 2)
+	b := MaxPool2D(NewPool(6, 1), in, 2)
+	if !a.Equal(b) {
+		t.Fatal("parallel MaxPool2D differs from serial")
+	}
+}
+
+// Property: max pooling never produces a value absent from its window, and
+// the output max equals the input max for full coverage (even dims).
+func TestPropertyMaxPoolPreservesMax(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		h := 2 * (1 + r.Intn(4))
+		in := randTensor(r, 1, 1, h, h)
+		out := MaxPool2D(Serial, in, 2)
+		var inMax, outMax float32 = in.Data()[0], out.Data()[0]
+		for _, v := range in.Data() {
+			if v > inMax {
+				inMax = v
+			}
+		}
+		for _, v := range out.Data() {
+			if v > outMax {
+				outMax = v
+			}
+		}
+		return inMax == outMax
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: convolution with an all-ones input and all-ones single filter
+// yields inC*kH*kW everywhere.
+func TestPropertyConvOnes(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c, k, sz := 1+r.Intn(3), 1+r.Intn(3), 4+r.Intn(4)
+		in := New(1, c, sz, sz)
+		in.Fill(1)
+		filt := New(1, c, k, k)
+		filt.Fill(1)
+		out := Conv2D(Serial, in, filt, nil)
+		want := float32(c * k * k)
+		for _, v := range out.Data() {
+			if v != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,128 @@
+package tensor
+
+import "math"
+
+// IEEE 754 half-precision conversion. The paper's related work ([4])
+// accelerates inference with half-precision arithmetic; bomw supports
+// fp16 *storage* (halving weight footprints and memory traffic, which
+// the device models translate into speed-ups for bandwidth-bound models)
+// while computing in float32, the way fp16 inference is typically
+// deployed on devices without native half ALUs.
+
+// Float32ToHalf converts a float32 to its IEEE 754 binary16 bit pattern,
+// with round-to-nearest-even, overflow to infinity and gradual underflow
+// to subnormals.
+func Float32ToHalf(f float32) uint16 {
+	bits := math.Float32bits(f)
+	sign := uint16(bits>>16) & 0x8000
+	exp := int32(bits>>23&0xff) - 127 + 15
+	mant := bits & 0x7fffff
+
+	switch {
+	case exp >= 0x1f:
+		// Overflow or already Inf/NaN.
+		if bits&0x7fffffff > 0x7f800000 {
+			return sign | 0x7e00 // NaN
+		}
+		return sign | 0x7c00 // ±Inf
+	case exp <= 0:
+		// Subnormal or zero.
+		if exp < -10 {
+			return sign // underflow to zero
+		}
+		mant |= 0x800000 // implicit leading 1
+		shift := uint32(14 - exp)
+		half := uint16(mant >> shift)
+		// Round to nearest even.
+		rem := mant & ((1 << shift) - 1)
+		midpoint := uint32(1) << (shift - 1)
+		if rem > midpoint || (rem == midpoint && half&1 == 1) {
+			half++
+		}
+		return sign | half
+	default:
+		half := sign | uint16(exp)<<10 | uint16(mant>>13)
+		rem := mant & 0x1fff
+		if rem > 0x1000 || (rem == 0x1000 && half&1 == 1) {
+			half++ // may carry into the exponent: correct (rounds up)
+		}
+		return half
+	}
+}
+
+// HalfToFloat32 expands an IEEE 754 binary16 bit pattern to float32.
+func HalfToFloat32(h uint16) float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h >> 10 & 0x1f)
+	mant := uint32(h & 0x3ff)
+
+	switch exp {
+	case 0:
+		if mant == 0 {
+			return math.Float32frombits(sign) // ±0
+		}
+		// Subnormal: normalise.
+		e := uint32(127 - 15 + 1)
+		for mant&0x400 == 0 {
+			mant <<= 1
+			e--
+		}
+		mant &= 0x3ff
+		return math.Float32frombits(sign | e<<23 | mant<<13)
+	case 0x1f:
+		return math.Float32frombits(sign | 0x7f800000 | mant<<13) // Inf/NaN
+	default:
+		return math.Float32frombits(sign | (exp-15+127)<<23 | mant<<13)
+	}
+}
+
+// HalfTensor stores tensor data in fp16 — half the bytes of a Tensor —
+// and materialises float32 views for compute.
+type HalfTensor struct {
+	shape []int
+	data  []uint16
+}
+
+// NewHalf compresses a float32 tensor into fp16 storage.
+func NewHalf(t *Tensor) *HalfTensor {
+	h := &HalfTensor{shape: append([]int(nil), t.Shape()...), data: make([]uint16, t.Len())}
+	for i, v := range t.Data() {
+		h.data[i] = Float32ToHalf(v)
+	}
+	return h
+}
+
+// Shape returns the tensor dimensions.
+func (h *HalfTensor) Shape() []int { return h.shape }
+
+// Len returns the element count.
+func (h *HalfTensor) Len() int { return len(h.data) }
+
+// SizeBytes returns the fp16 payload size.
+func (h *HalfTensor) SizeBytes() int64 { return int64(len(h.data)) * 2 }
+
+// Expand materialises the float32 view.
+func (h *HalfTensor) Expand() *Tensor {
+	t := New(h.shape...)
+	for i, v := range h.data {
+		t.Data()[i] = HalfToFloat32(v)
+	}
+	return t
+}
+
+// MaxAbsError returns the largest absolute element difference between the
+// original tensor and its fp16 round trip — the quantisation noise floor.
+func MaxAbsError(orig *Tensor, h *HalfTensor) float32 {
+	exp := h.Expand()
+	var worst float32
+	for i, v := range orig.Data() {
+		d := v - exp.Data()[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

@@ -1,0 +1,104 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHalfKnownValues(t *testing.T) {
+	cases := []struct {
+		f float32
+		h uint16
+	}{
+		{0, 0x0000},
+		{1, 0x3c00},
+		{-1, 0xbc00},
+		{2, 0x4000},
+		{0.5, 0x3800},
+		{65504, 0x7bff},                 // max finite half
+		{float32(math.Inf(1)), 0x7c00},  // +Inf
+		{float32(math.Inf(-1)), 0xfc00}, // -Inf
+		{5.9604645e-08, 0x0001},         // smallest subnormal
+	}
+	for _, c := range cases {
+		if got := Float32ToHalf(c.f); got != c.h {
+			t.Fatalf("Float32ToHalf(%g) = %#04x, want %#04x", c.f, got, c.h)
+		}
+		if back := HalfToFloat32(c.h); back != c.f {
+			t.Fatalf("HalfToFloat32(%#04x) = %g, want %g", c.h, back, c.f)
+		}
+	}
+}
+
+func TestHalfOverflowAndNaN(t *testing.T) {
+	if got := Float32ToHalf(1e6); got != 0x7c00 {
+		t.Fatalf("1e6 should overflow to +Inf, got %#04x", got)
+	}
+	if got := Float32ToHalf(-1e6); got != 0xfc00 {
+		t.Fatalf("-1e6 should overflow to -Inf, got %#04x", got)
+	}
+	nan := Float32ToHalf(float32(math.NaN()))
+	if nan&0x7c00 != 0x7c00 || nan&0x3ff == 0 {
+		t.Fatalf("NaN encoded as %#04x", nan)
+	}
+	if !math.IsNaN(float64(HalfToFloat32(0x7e00))) {
+		t.Fatal("half NaN should decode to NaN")
+	}
+	if got := Float32ToHalf(1e-10); got != 0 {
+		t.Fatalf("1e-10 should underflow to zero, got %#04x", got)
+	}
+}
+
+// Property: every representable half value round-trips exactly through
+// float32.
+func TestPropertyHalfRoundTrip(t *testing.T) {
+	f := func(h uint16) bool {
+		v := HalfToFloat32(h)
+		if math.IsNaN(float64(v)) {
+			back := HalfToFloat32(Float32ToHalf(v))
+			return math.IsNaN(float64(back))
+		}
+		return Float32ToHalf(v) == h || (h == 0x8000 && Float32ToHalf(v) == 0x8000)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for values in half's normal range, conversion error stays
+// within half's relative precision (2^-11).
+func TestPropertyHalfPrecisionBound(t *testing.T) {
+	f := func(raw int32) bool {
+		v := float32(raw%60000) / 7.3
+		if v == 0 {
+			return true
+		}
+		back := HalfToFloat32(Float32ToHalf(v))
+		rel := math.Abs(float64(back-v) / float64(v))
+		return rel <= 1.0/2048+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHalfTensorRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	orig := randTensor(rng, 16, 16)
+	h := NewHalf(orig)
+	if h.SizeBytes() != orig.SizeBytes()/2 {
+		t.Fatalf("half storage %d bytes, want half of %d", h.SizeBytes(), orig.SizeBytes())
+	}
+	if h.Len() != orig.Len() || len(h.Shape()) != 2 {
+		t.Fatal("half tensor metadata wrong")
+	}
+	if err := MaxAbsError(orig, h); err > 0.01 {
+		t.Fatalf("fp16 round-trip error %g too large for N(0,1) values", err)
+	}
+	exp := h.Expand()
+	if exp.Dim(0) != 16 || exp.Dim(1) != 16 {
+		t.Fatal("expanded shape wrong")
+	}
+}

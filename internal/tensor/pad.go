@@ -1,0 +1,30 @@
+package tensor
+
+import "fmt"
+
+// Pad2D returns a copy of input [batch, C, H, W] with pad rows/columns of
+// zeros added on every spatial side, producing [batch, C, H+2p, W+2p].
+// pad = 0 returns the input unchanged (no copy).
+func Pad2D(input *Tensor, pad int) *Tensor {
+	if input.Rank() != 4 {
+		panic(fmt.Sprintf("tensor: Pad2D needs rank-4 input, got %v", input.Shape()))
+	}
+	if pad < 0 {
+		panic("tensor: Pad2D padding must be non-negative")
+	}
+	if pad == 0 {
+		return input
+	}
+	batch, ch, h, w := input.Dim(0), input.Dim(1), input.Dim(2), input.Dim(3)
+	ph, pw := h+2*pad, w+2*pad
+	out := New(batch, ch, ph, pw)
+	in, od := input.data, out.data
+	for p := 0; p < batch*ch; p++ {
+		src := in[p*h*w:]
+		dst := od[p*ph*pw:]
+		for y := 0; y < h; y++ {
+			copy(dst[(y+pad)*pw+pad:(y+pad)*pw+pad+w], src[y*w:(y+1)*w])
+		}
+	}
+	return out
+}

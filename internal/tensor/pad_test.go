@@ -1,0 +1,68 @@
+package tensor
+
+import "testing"
+
+func TestPad2DZeroReturnsInput(t *testing.T) {
+	in := New(1, 1, 2, 2)
+	if Pad2D(in, 0) != in {
+		t.Fatal("pad=0 should be a no-op returning the same tensor")
+	}
+}
+
+func TestPad2DValues(t *testing.T) {
+	in := FromSlice([]float32{1, 2, 3, 4}, 1, 1, 2, 2)
+	out := Pad2D(in, 1)
+	if out.Dim(2) != 4 || out.Dim(3) != 4 {
+		t.Fatalf("padded shape = %v", out.Shape())
+	}
+	want := FromSlice([]float32{
+		0, 0, 0, 0,
+		0, 1, 2, 0,
+		0, 3, 4, 0,
+		0, 0, 0, 0,
+	}, 1, 1, 4, 4)
+	if !out.Equal(want) {
+		t.Fatalf("Pad2D = %v, want %v", out, want)
+	}
+}
+
+func TestPad2DMultiBatchChannel(t *testing.T) {
+	in := New(2, 3, 2, 2)
+	in.Fill(7)
+	out := Pad2D(in, 2)
+	if out.Dim(0) != 2 || out.Dim(1) != 3 || out.Dim(2) != 6 || out.Dim(3) != 6 {
+		t.Fatalf("padded shape = %v", out.Shape())
+	}
+	var sum float32
+	for _, v := range out.Data() {
+		sum += v
+	}
+	if sum != 7*4*6 { // interior preserved per plane
+		t.Fatalf("padded sum = %g", sum)
+	}
+}
+
+func TestPad2DPanics(t *testing.T) {
+	for i, fn := range []func(){
+		func() { Pad2D(New(2, 2), 1) },
+		func() { Pad2D(New(1, 1, 2, 2), -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestConvSamePaddingPreservesShape(t *testing.T) {
+	in := New(1, 2, 8, 8)
+	f := New(4, 2, 3, 3)
+	out := Conv2D(Serial, Pad2D(in, 1), f, nil)
+	if out.Dim(2) != 8 || out.Dim(3) != 8 {
+		t.Fatalf("same-padded conv output %v, want 8x8", out.Shape())
+	}
+}

@@ -1,0 +1,96 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is a fixed-size worker pool that partitions index ranges across
+// goroutines. It mirrors the paper's OpenCL work-group structure: a range
+// of work-items is split into contiguous groups, and each worker executes
+// whole groups. GroupSize is the analogue of work-items-per-work-group
+// (the paper uses 4096 for CPUs and 256 for GPUs).
+type Pool struct {
+	workers   int
+	groupSize int
+}
+
+// NewPool returns a pool with the given number of workers and work-group
+// size. workers <= 0 selects GOMAXPROCS; groupSize <= 0 selects 4096 (the
+// paper's CPU-optimal configuration).
+func NewPool(workers, groupSize int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if groupSize <= 0 {
+		groupSize = 4096
+	}
+	return &Pool{workers: workers, groupSize: groupSize}
+}
+
+// Workers returns the worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// GroupSize returns the work-group size.
+func (p *Pool) GroupSize() int { return p.groupSize }
+
+// For executes fn(lo, hi) over disjoint sub-ranges covering [0, n),
+// in parallel across the pool's workers. Each sub-range is a multiple of
+// the group size except possibly the last. For small n the call is run
+// inline to avoid goroutine overhead.
+func (p *Pool) For(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	groups := (n + p.groupSize - 1) / p.groupSize
+	if groups == 1 || p.workers == 1 {
+		fn(0, n)
+		return
+	}
+	workers := p.workers
+	if groups < workers {
+		workers = groups
+	}
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				g := next
+				next++
+				mu.Unlock()
+				if g >= groups {
+					return
+				}
+				lo := g * p.groupSize
+				hi := lo + p.groupSize
+				if hi > n {
+					hi = n
+				}
+				fn(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForEach executes fn(i) for every i in [0, n) using For.
+func (p *Pool) ForEach(n int, fn func(i int)) {
+	p.For(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// Serial is a pool that always runs inline; useful for tests and for
+// modelling a single compute unit.
+var Serial = &Pool{workers: 1, groupSize: 1 << 30}
+
+// Default is a pool sized to the host machine with the paper's CPU
+// work-group configuration.
+var Default = NewPool(0, 4096)

@@ -1,0 +1,34 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSON: arbitrary input must never panic the trace parser, and
+// every accepted trace must satisfy the ordering invariant.
+func FuzzReadJSON(f *testing.F) {
+	tr, _ := Poisson(5, 100, []string{"m"}, []int{8}, 1)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("[]")
+	f.Add(`[{"at_us":-1,"model":"m","batch":1}]`)
+
+	f.Fuzz(func(t *testing.T, data string) {
+		parsed, err := ReadJSON(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		prev := parsed[0].At
+		for _, r := range parsed[1:] {
+			if r.At < prev {
+				t.Fatal("accepted trace violates ordering")
+			}
+			prev = r.At
+		}
+	})
+}

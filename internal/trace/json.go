@@ -1,0 +1,59 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// JSON persistence for request traces, so workloads captured from one run
+// (or authored by hand) replay identically elsewhere.
+
+type jsonRequest struct {
+	AtMicros int64  `json:"at_us"`
+	Model    string `json:"model"`
+	Batch    int    `json:"batch"`
+}
+
+// WriteJSON serialises the trace as a JSON array.
+func (t Trace) WriteJSON(w io.Writer) error {
+	out := make([]jsonRequest, len(t))
+	for i, r := range t {
+		out[i] = jsonRequest{AtMicros: r.At.Microseconds(), Model: r.Model, Batch: r.Batch}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("trace: encoding JSON: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON parses a trace written by WriteJSON, validating ordering and
+// batch sizes.
+func ReadJSON(r io.Reader) (Trace, error) {
+	var in []jsonRequest
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("trace: decoding JSON: %w", err)
+	}
+	if len(in) == 0 {
+		return nil, fmt.Errorf("trace: empty trace")
+	}
+	tr := make(Trace, len(in))
+	prev := int64(-1)
+	for i, jr := range in {
+		if jr.Batch <= 0 {
+			return nil, fmt.Errorf("trace: request %d has non-positive batch %d", i, jr.Batch)
+		}
+		if jr.Model == "" {
+			return nil, fmt.Errorf("trace: request %d has no model", i)
+		}
+		if jr.AtMicros < prev {
+			return nil, fmt.Errorf("trace: request %d arrives before its predecessor", i)
+		}
+		prev = jr.AtMicros
+		tr[i] = Request{At: time.Duration(jr.AtMicros) * time.Microsecond, Model: jr.Model, Batch: jr.Batch}
+	}
+	return tr, nil
+}

@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Workload statistics: the quantities that distinguish a steady stream
+// from the bursty and diurnal fluctuations of §I, for analysing captured
+// traces before replaying them.
+
+// Stats summarises a trace.
+type Stats struct {
+	Requests     int
+	TotalSamples int64
+	Duration     time.Duration
+	MeanRate     float64 // requests/second over the span
+	MeanBatch    float64
+	MaxBatch     int
+	// Burstiness is the coefficient of variation of inter-arrival times:
+	// ≈1 for a Poisson process, >1 for bursty arrivals, <1 for regular
+	// (sweep-like) spacing.
+	Burstiness float64
+}
+
+// Summarize computes trace statistics. The trace must be non-empty and
+// time ordered.
+func Summarize(t Trace) (Stats, error) {
+	if len(t) == 0 {
+		return Stats{}, fmt.Errorf("trace: cannot summarise an empty trace")
+	}
+	s := Stats{Requests: len(t), Duration: t.Duration()}
+	prev := time.Duration(-1)
+	var gaps []float64
+	for i, r := range t {
+		if r.At < prev {
+			return Stats{}, fmt.Errorf("trace: request %d arrives out of order", i)
+		}
+		if i > 0 {
+			gaps = append(gaps, (r.At - prev).Seconds())
+		}
+		prev = r.At
+		s.TotalSamples += int64(r.Batch)
+		if r.Batch > s.MaxBatch {
+			s.MaxBatch = r.Batch
+		}
+	}
+	s.MeanBatch = float64(s.TotalSamples) / float64(s.Requests)
+	if s.Duration > 0 {
+		s.MeanRate = float64(s.Requests) / s.Duration.Seconds()
+	}
+	if len(gaps) > 1 {
+		var mean float64
+		for _, g := range gaps {
+			mean += g
+		}
+		mean /= float64(len(gaps))
+		var varSum float64
+		for _, g := range gaps {
+			d := g - mean
+			varSum += d * d
+		}
+		varSum /= float64(len(gaps))
+		if mean > 0 {
+			s.Burstiness = math.Sqrt(varSum) / mean
+		}
+	}
+	return s, nil
+}
+
+// RateOver returns request rates over consecutive windows of the given
+// width — the load profile a diurnal trace exhibits.
+func RateOver(t Trace, window time.Duration) ([]float64, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("trace: window must be positive")
+	}
+	if len(t) == 0 {
+		return nil, fmt.Errorf("trace: cannot profile an empty trace")
+	}
+	buckets := int(t.Duration()/window) + 1
+	counts := make([]float64, buckets)
+	for _, r := range t {
+		counts[int(r.At/window)]++
+	}
+	secs := window.Seconds()
+	for i := range counts {
+		counts[i] /= secs
+	}
+	return counts, nil
+}

@@ -1,0 +1,133 @@
+// Package trace generates the streaming workloads the online scheduler
+// is evaluated against: steady Poisson request streams, data bursts,
+// application overloads, and diurnal load patterns — the "dynamic
+// fluctuations that occur at real-time" of §I.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Request is one classification job arriving at the scheduler.
+type Request struct {
+	At    time.Duration
+	Model string
+	Batch int
+}
+
+// Trace is an ordered stream of requests.
+type Trace []Request
+
+// Duration returns the arrival span of the trace.
+func (t Trace) Duration() time.Duration {
+	if len(t) == 0 {
+		return 0
+	}
+	return t[len(t)-1].At
+}
+
+// TotalSamples sums all batch sizes.
+func (t Trace) TotalSamples() int64 {
+	var n int64
+	for _, r := range t {
+		n += int64(r.Batch)
+	}
+	return n
+}
+
+// Poisson generates n requests with exponential inter-arrival times at
+// the given mean rate (requests/second), drawing batch sizes uniformly
+// from batches and models round-robin from names.
+func Poisson(n int, rate float64, names []string, batches []int, seed int64) (Trace, error) {
+	if n <= 0 || rate <= 0 || len(names) == 0 || len(batches) == 0 {
+		return nil, fmt.Errorf("trace: Poisson needs positive n/rate and non-empty names/batches")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var tr Trace
+	at := time.Duration(0)
+	for i := 0; i < n; i++ {
+		at += time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+		tr = append(tr, Request{
+			At:    at,
+			Model: names[i%len(names)],
+			Batch: batches[rng.Intn(len(batches))],
+		})
+	}
+	return tr, nil
+}
+
+// Burst generates a steady stream at baseRate with periodic bursts: every
+// period, a burst of burstLen at burstRate. This is the "data bursts"
+// fluctuation of §I — batch sizes jump to the large end during bursts.
+func Burst(n int, baseRate, burstRate float64, period, burstLen time.Duration, names []string, smallBatches, largeBatches []int, seed int64) (Trace, error) {
+	if n <= 0 || baseRate <= 0 || burstRate <= 0 || period <= 0 || burstLen <= 0 ||
+		len(names) == 0 || len(smallBatches) == 0 || len(largeBatches) == 0 {
+		return nil, fmt.Errorf("trace: Burst needs positive parameters and non-empty sets")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var tr Trace
+	at := time.Duration(0)
+	for i := 0; i < n; i++ {
+		inBurst := at%period < burstLen
+		rate, batches := baseRate, smallBatches
+		if inBurst {
+			rate, batches = burstRate, largeBatches
+		}
+		at += time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+		tr = append(tr, Request{
+			At:    at,
+			Model: names[i%len(names)],
+			Batch: batches[rng.Intn(len(batches))],
+		})
+	}
+	return tr, nil
+}
+
+// Diurnal generates n requests over the span with a sinusoidal rate
+// profile between minRate and maxRate — the paper's diurnal-pattern
+// energy scenario (§I): low-load valleys favour low-power devices.
+func Diurnal(n int, minRate, maxRate float64, span time.Duration, names []string, batches []int, seed int64) (Trace, error) {
+	if n <= 0 || minRate <= 0 || maxRate < minRate || span <= 0 || len(names) == 0 || len(batches) == 0 {
+		return nil, fmt.Errorf("trace: Diurnal needs positive rates (min ≤ max) and non-empty sets")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var tr Trace
+	at := time.Duration(0)
+	for i := 0; i < n; i++ {
+		phase := 2 * math.Pi * float64(at) / float64(span)
+		rate := minRate + (maxRate-minRate)*(0.5+0.5*math.Sin(phase))
+		at += time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+		// Load follows the rate: big batches at peak, small in valleys.
+		idx := int(float64(len(batches)) * (rate - minRate) / (maxRate - minRate + 1e-9))
+		if idx >= len(batches) {
+			idx = len(batches) - 1
+		}
+		jitter := rng.Intn(3) - 1
+		bi := idx + jitter
+		if bi < 0 {
+			bi = 0
+		}
+		if bi >= len(batches) {
+			bi = len(batches) - 1
+		}
+		tr = append(tr, Request{At: at, Model: names[i%len(names)], Batch: batches[bi]})
+	}
+	return tr, nil
+}
+
+// Sweep generates one request per (model, batch) pair spaced by gap —
+// the characterisation-style workload used for Fig. 6 replays.
+func Sweep(names []string, batches []int, gap time.Duration) Trace {
+	var tr Trace
+	at := time.Duration(0)
+	for _, m := range names {
+		for _, b := range batches {
+			tr = append(tr, Request{At: at, Model: m, Batch: b})
+			at += gap
+		}
+	}
+	return tr
+}

@@ -1,0 +1,280 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+var names = []string{"a", "b"}
+
+func TestPoissonBasics(t *testing.T) {
+	tr, err := Poisson(100, 50, names, []int{8, 64}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) != 100 {
+		t.Fatalf("requests = %d", len(tr))
+	}
+	prev := time.Duration(-1)
+	models := map[string]int{}
+	for _, r := range tr {
+		if r.At <= prev {
+			t.Fatal("arrivals must be strictly increasing")
+		}
+		prev = r.At
+		if r.Batch != 8 && r.Batch != 64 {
+			t.Fatalf("unexpected batch %d", r.Batch)
+		}
+		models[r.Model]++
+	}
+	if models["a"] != 50 || models["b"] != 50 {
+		t.Fatalf("round-robin models broken: %v", models)
+	}
+	// Mean inter-arrival ≈ 1/rate: 100 requests at 50/s ≈ 2 s span.
+	if d := tr.Duration(); d < 1*time.Second || d > 4*time.Second {
+		t.Fatalf("trace duration %v, want ≈2s", d)
+	}
+}
+
+func TestPoissonDeterministic(t *testing.T) {
+	a, _ := Poisson(50, 10, names, []int{8}, 7)
+	b, _ := Poisson(50, 10, names, []int{8}, 7)
+	c, _ := Poisson(50, 10, names, []int{8}, 8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed, different trace")
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seed, same trace")
+	}
+}
+
+func TestPoissonValidation(t *testing.T) {
+	if _, err := Poisson(0, 10, names, []int{8}, 1); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := Poisson(10, 0, names, []int{8}, 1); err == nil {
+		t.Fatal("rate=0 accepted")
+	}
+	if _, err := Poisson(10, 10, nil, []int{8}, 1); err == nil {
+		t.Fatal("empty names accepted")
+	}
+	if _, err := Poisson(10, 10, names, nil, 1); err == nil {
+		t.Fatal("empty batches accepted")
+	}
+}
+
+func TestBurstAlternatesLoad(t *testing.T) {
+	tr, err := Burst(2000, 20, 400, time.Second, 200*time.Millisecond,
+		names, []int{8}, []int{4096}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var small, large int
+	for _, r := range tr {
+		switch r.Batch {
+		case 8:
+			small++
+		case 4096:
+			large++
+		default:
+			t.Fatalf("unexpected batch %d", r.Batch)
+		}
+	}
+	if small == 0 || large == 0 {
+		t.Fatalf("burst trace must mix loads: %d small, %d large", small, large)
+	}
+	// Bursts are much denser: despite covering only 20% of time, the
+	// 20x rate means large-batch requests should dominate counts.
+	if large < small {
+		t.Fatalf("burst requests should dominate: %d large vs %d small", large, small)
+	}
+}
+
+func TestBurstValidation(t *testing.T) {
+	if _, err := Burst(10, 1, 1, 0, time.Second, names, []int{1}, []int{2}, 1); err == nil {
+		t.Fatal("zero period accepted")
+	}
+}
+
+func TestDiurnalRateVaries(t *testing.T) {
+	tr, err := Diurnal(3000, 5, 200, 10*time.Second, names, []int{2, 16, 128, 1024}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Request density in the peak half-cycle should far exceed the
+	// valley half-cycle.
+	counts := map[bool]int{}
+	batchAtPeak := map[bool]int64{}
+	span := 10 * time.Second
+	for _, r := range tr {
+		phase := r.At % span
+		peak := phase < span/2 // sin positive half
+		counts[peak]++
+		batchAtPeak[peak] += int64(r.Batch)
+	}
+	if counts[true] <= counts[false] {
+		t.Fatalf("peak density %d should exceed valley %d", counts[true], counts[false])
+	}
+	avgPeak := float64(batchAtPeak[true]) / float64(counts[true])
+	avgValley := float64(batchAtPeak[false]) / float64(counts[false])
+	if avgPeak <= avgValley {
+		t.Fatalf("peak batches (%.0f) should exceed valley batches (%.0f)", avgPeak, avgValley)
+	}
+}
+
+func TestDiurnalValidation(t *testing.T) {
+	if _, err := Diurnal(10, 5, 1, time.Second, names, []int{1}, 1); err == nil {
+		t.Fatal("max < min accepted")
+	}
+}
+
+func TestSweepTrace(t *testing.T) {
+	tr := Sweep([]string{"m1", "m2"}, []int{2, 4, 8}, time.Second)
+	if len(tr) != 6 {
+		t.Fatalf("sweep length %d", len(tr))
+	}
+	if tr[0].At != 0 || tr[5].At != 5*time.Second {
+		t.Fatalf("sweep spacing wrong: %v … %v", tr[0].At, tr[5].At)
+	}
+	if tr.TotalSamples() != 2*(2+4+8) {
+		t.Fatalf("TotalSamples = %d", tr.TotalSamples())
+	}
+	if (Trace{}).Duration() != 0 {
+		t.Fatal("empty trace duration should be 0")
+	}
+}
+
+func TestTraceJSONRoundTrip(t *testing.T) {
+	tr, _ := Poisson(20, 100, names, []int{8, 64}, 1)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restored) != len(tr) {
+		t.Fatalf("restored %d requests, want %d", len(restored), len(tr))
+	}
+	for i := range tr {
+		// Arrival times round-trip at microsecond granularity.
+		if restored[i].Model != tr[i].Model || restored[i].Batch != tr[i].Batch {
+			t.Fatalf("request %d mismatch", i)
+		}
+		if d := restored[i].At - tr[i].At; d < -time.Microsecond || d > time.Microsecond {
+			t.Fatalf("request %d time drift %v", i, d)
+		}
+	}
+}
+
+func TestTraceJSONValidation(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("[]")); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader("{bad json")); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`[{"at_us":1,"model":"m","batch":0}]`)); err == nil {
+		t.Fatal("zero batch accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`[{"at_us":1,"model":"","batch":2}]`)); err == nil {
+		t.Fatal("empty model accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`[{"at_us":5,"model":"m","batch":2},{"at_us":1,"model":"m","batch":2}]`)); err == nil {
+		t.Fatal("out-of-order trace accepted")
+	}
+}
+
+func TestSummarizeBasics(t *testing.T) {
+	tr := Trace{
+		{At: 0, Model: "m", Batch: 10},
+		{At: time.Second, Model: "m", Batch: 20},
+		{At: 2 * time.Second, Model: "m", Batch: 30},
+	}
+	s, err := Summarize(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Requests != 3 || s.TotalSamples != 60 || s.MaxBatch != 30 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.MeanBatch != 20 || s.MeanRate != 1.5 {
+		t.Fatalf("mean batch %.1f rate %.1f", s.MeanBatch, s.MeanRate)
+	}
+	// Perfectly regular spacing → burstiness 0.
+	if s.Burstiness != 0 {
+		t.Fatalf("regular trace burstiness %.2f, want 0", s.Burstiness)
+	}
+}
+
+func TestSummarizeErrors(t *testing.T) {
+	if _, err := Summarize(nil); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	bad := Trace{{At: time.Second, Model: "m", Batch: 1}, {At: 0, Model: "m", Batch: 1}}
+	if _, err := Summarize(bad); err == nil {
+		t.Fatal("out-of-order trace accepted")
+	}
+}
+
+func TestBurstinessDistinguishesWorkloads(t *testing.T) {
+	poisson, _ := Poisson(2000, 100, names, []int{8}, 1)
+	burst, _ := Burst(2000, 10, 500, time.Second, 150*time.Millisecond, names, []int{8}, []int{8}, 1)
+	sp, err := Summarize(poisson)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := Summarize(burst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Poisson inter-arrivals have CV ≈ 1; bursts push it well above.
+	if sp.Burstiness < 0.8 || sp.Burstiness > 1.2 {
+		t.Fatalf("poisson burstiness %.2f, want ≈1", sp.Burstiness)
+	}
+	if sb.Burstiness <= sp.Burstiness {
+		t.Fatalf("burst trace (%.2f) should be burstier than poisson (%.2f)",
+			sb.Burstiness, sp.Burstiness)
+	}
+}
+
+func TestRateOverProfilesDiurnal(t *testing.T) {
+	tr, _ := Diurnal(4000, 5, 300, 4*time.Second, names, []int{8}, 2)
+	rates, err := RateOver(tr, 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rates) < 6 {
+		t.Fatalf("profile too short: %d buckets", len(rates))
+	}
+	min, max := rates[0], rates[0]
+	for _, r := range rates {
+		if r < min {
+			min = r
+		}
+		if r > max {
+			max = r
+		}
+	}
+	if max < 3*min+1 {
+		t.Fatalf("diurnal profile too flat: min %.1f max %.1f", min, max)
+	}
+	if _, err := RateOver(tr, 0); err == nil {
+		t.Fatal("zero window accepted")
+	}
+	if _, err := RateOver(nil, time.Second); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
