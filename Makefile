@@ -1,0 +1,24 @@
+# Verification entry points. `make verify` is the gate every change
+# must pass: vet, build, the full test suite, and the race detector
+# over the concurrent packages (serving pipeline + HTTP server).
+
+GO ?= go
+
+.PHONY: verify build test vet race bench
+
+verify: vet build test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core/... ./internal/server/... ./internal/trace/...
+
+bench:
+	$(GO) test -run=NONE -bench=BenchmarkPipelineServe -benchtime=2s ./internal/core/

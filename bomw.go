@@ -226,6 +226,40 @@ var DefaultPool = tensor.Default
 // is the paper's decisive scheduling variable, §IV-C).
 type Batcher = core.Batcher
 
+// The concurrent serving pipeline: admission with bounded queues and
+// load shedding, live batching, per-device worker queues, completion
+// futures. This is the online counterpart of the offline Batcher.
+type (
+	// Pipeline is the staged concurrent serving core.
+	Pipeline = core.Pipeline
+	// PipelineConfig bounds the pipeline's queues and batching window.
+	PipelineConfig = core.PipelineConfig
+	// PipelineRequest is one unit of admitted work.
+	PipelineRequest = core.PipelineRequest
+	// Completion is the resolved outcome of a pipelined request.
+	Completion = core.Completion
+	// Future resolves to a Completion once the request's batch executes.
+	Future = core.Future
+	// PipelineStats is a snapshot of pipeline counters and queue depths.
+	PipelineStats = core.PipelineStats
+)
+
+// NewPipeline starts a serving pipeline over a trained scheduler.
+func NewPipeline(s *Scheduler, cfg PipelineConfig) *Pipeline { return core.NewPipeline(s, cfg) }
+
+// Pipeline admission errors.
+var (
+	// ErrAdmissionFull signals load shedding: the bounded admission
+	// queue is full and the caller should back off and retry.
+	ErrAdmissionFull = core.ErrAdmissionFull
+	// ErrPipelineClosed rejects work submitted after Close.
+	ErrPipelineClosed = core.ErrPipelineClosed
+)
+
+// PlayTrace replays a trace's arrival process on the wall clock,
+// delivering requests on a channel as live traffic would arrive.
+var PlayTrace = trace.Play
+
 // MixedRequest tags a request with its application's policy for
 // multi-tenant replays.
 type MixedRequest = core.MixedRequest

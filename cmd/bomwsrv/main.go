@@ -1,23 +1,32 @@
 // Command bomwsrv serves the adaptive scheduler over HTTP — the
 // production face of the paper's system. It trains (or loads) the
 // scheduler, pre-loads the paper's workload models, and listens for
-// classification requests.
+// classification requests, serving them through the concurrent pipeline
+// (admission → live batching → per-device worker queues). SIGINT/SIGTERM
+// shut down gracefully: the listener stops, in-flight requests drain,
+// and open batches flush before the process exits.
 //
 // Usage:
 //
 //	bomwsrv -addr :8080
-//	bomwsrv -addr :8080 -load sched.state
+//	bomwsrv -addr :8080 -load sched.state -window 2ms -max-batch 64
 //
 //	curl -s localhost:8080/v1/devices
+//	curl -s localhost:8080/v1/pipeline
 //	curl -s -X POST localhost:8080/v1/classify \
 //	  -d '{"model":"simple","policy":"lowest-latency","samples":[[5.1,3.5,1.4,0.2]]}'
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"bomw/internal/core"
 	"bomw/internal/models"
@@ -28,6 +37,11 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	loadPath := flag.String("load", "", "load scheduler state instead of training")
 	seed := flag.Int64("seed", 1, "random seed")
+	window := flag.Duration("window", 2*time.Millisecond, "live batching window")
+	maxBatch := flag.Int("max-batch", 64, "live batching size trigger (samples)")
+	queueDepth := flag.Int("queue-depth", 256, "admission queue bound (requests)")
+	deviceDepth := flag.Int("device-queue-depth", 8, "per-device worker queue bound (batches)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget")
 	flag.Parse()
 
 	var sched *core.Scheduler
@@ -54,9 +68,36 @@ func main() {
 			os.Exit(1)
 		}
 	}
+
+	api := server.NewWithConfig(sched, *seed, core.PipelineConfig{
+		Window:           *window,
+		MaxBatch:         *maxBatch,
+		QueueDepth:       *queueDepth,
+		DeviceQueueDepth: *deviceDepth,
+	})
+	srv := &http.Server{Addr: *addr, Handler: api}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
 	fmt.Printf("bomwsrv: %d models loaded, serving on %s\n", len(models.PaperModels()), *addr)
-	if err := http.ListenAndServe(*addr, server.New(sched, *seed)); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		fmt.Println("bomwsrv: shutting down, draining in-flight requests…")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "bomwsrv: forced shutdown: %v\n", err)
+		}
+		api.Close() // flush open batches, drain device queues
+		fmt.Println("bomwsrv: drained")
 	}
 }

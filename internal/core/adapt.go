@@ -75,7 +75,7 @@ func (s *Scheduler) Observe(dec Decision, res *opencl.Result) error {
 	}
 	// Exclude queueing: interference shows in execution, not arrival.
 	observed := res.Completed - res.Events[0].Start
-	s.health.observe(dec.Device, shadow, observed)
+	s.monitor().observe(dec.Device, shadow, observed)
 	return nil
 }
 
@@ -96,5 +96,6 @@ func (s *Scheduler) shadowExpect(dec Decision) (time.Duration, error) {
 // DeviceHealth reports the monitor's current slowdown estimate and
 // degraded flag for a device.
 func (s *Scheduler) DeviceHealth(dev string) (slowdown float64, degraded bool) {
-	return s.health.slowdownEstimate(dev), s.health.degraded(dev)
+	h := s.monitor()
+	return h.slowdownEstimate(dev), h.degraded(dev)
 }

@@ -16,6 +16,7 @@ package core
 import (
 	"bytes"
 	"fmt"
+	"sort"
 	"sync"
 
 	"bomw/internal/nn"
@@ -103,7 +104,8 @@ func (d *Dispatcher) WeightBytes(model string) ([]byte, error) {
 	return w, nil
 }
 
-// Models lists loaded model names.
+// Models lists loaded model names, sorted so API responses and test
+// goldens are stable regardless of load order or map iteration.
 func (d *Dispatcher) Models() []string {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -111,5 +113,6 @@ func (d *Dispatcher) Models() []string {
 	for n := range d.nets {
 		out = append(out, n)
 	}
+	sort.Strings(out)
 	return out
 }

@@ -1,0 +1,732 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bomw/internal/opencl"
+	"bomw/internal/tensor"
+	"bomw/internal/trace"
+)
+
+// Pipeline is the concurrent serving path over a trained scheduler — the
+// online form of the Fig. 5 system. Where Scheduler.Classify serves one
+// request synchronously, the pipeline stages requests through:
+//
+//	admission → live batching → per-device worker queues → completion
+//
+// (1) Admission: a bounded queue with load-shedding backpressure. When
+// the queue is full, Submit fails fast with ErrAdmissionFull instead of
+// letting latency collapse — the MLPerf "Server scenario" response to
+// overload. Every request carries a context for deadlines/cancellation.
+//
+// (2) Live batching: arriving requests aggregate per (model, policy)
+// under the offline Batcher's Window/MaxBatch semantics, but flushed by
+// wall-clock timers and size triggers instead of offline trace folding.
+// The batcher is work-conserving (concurrency-aware): while the system
+// is idle a request dispatches immediately; batches only form while
+// earlier work is in flight, so batching cost is paid exactly when it
+// buys device efficiency (§IV-C: batch size is the decisive variable).
+//
+// (3) Per-device worker queues: one worker goroutine per device executes
+// batches in order. Queue occupancy is reported back into the
+// scheduler's spill logic (Config.MaxQueueDelay, §V overload
+// adaptation), so spilling reads *real* queued work instead of only the
+// device simulator's committed busy horizon.
+//
+// (4) Completion: results are delivered through per-request futures;
+// aggregated batches are split back into per-request class slices with
+// proportional energy accounting.
+type Pipeline struct {
+	sched *Scheduler
+	cfg   PipelineConfig
+
+	admit   chan *pipeReq
+	flushCh chan flushMsg
+	nudge   chan struct{} // worker → admit loop: system went idle
+	closing chan struct{} // Close() was called: drain and stop
+	done    chan struct{} // fully drained: releases window timers
+	drained chan struct{}
+
+	closeMu sync.Mutex
+	closed  bool
+
+	// admit-loop-local state (touched only by admitLoop).
+	aggs map[aggKey]*aggregate
+	gen  uint64
+
+	queues   map[string]*deviceQueue
+	inflight atomic.Int64 // batches queued or executing
+
+	submitted atomic.Int64
+	shed      atomic.Int64
+	cancelled atomic.Int64
+	completed atomic.Int64
+	batches   atomic.Int64
+	sizeFl    atomic.Int64
+	windowFl  atomic.Int64
+	idleFl    atomic.Int64
+	drainFl   atomic.Int64
+
+	// testExecHook, when set, runs in each device worker before a batch
+	// executes — tests use it to hold workers and fill queues
+	// deterministically.
+	testExecHook func(device string)
+}
+
+// PipelineConfig parameterises the serving pipeline.
+type PipelineConfig struct {
+	// Window is the maximum time the oldest request of a live batch may
+	// wait before the batch is flushed (the Batcher.Window semantics on
+	// a wall-clock timer). Defaults to 2 ms.
+	Window time.Duration
+	// MaxBatch flushes a batch as soon as it aggregates this many
+	// samples (the Batcher.MaxBatch semantics). Defaults to 64.
+	MaxBatch int
+	// QueueDepth bounds the admission queue; a full queue sheds load
+	// (Submit returns ErrAdmissionFull). Defaults to 256.
+	QueueDepth int
+	// DeviceQueueDepth bounds each device's worker queue; full device
+	// queues exert backpressure on batch flushing, which in turn fills
+	// admission. Defaults to 8.
+	DeviceQueueDepth int
+	// HoldWindow disables the work-conserving idle fast-path: aggregates
+	// always wait for the window timer or the size trigger, mirroring
+	// the offline Batcher exactly. Default false: a request arriving
+	// into an idle system dispatches immediately.
+	HoldWindow bool
+	// Clock supplies the virtual time requests are charged at. Defaults
+	// to wall-clock time since the pipeline was created (the serving
+	// mapping internal/server uses).
+	Clock func() time.Duration
+}
+
+func (c *PipelineConfig) fillDefaults() {
+	if c.Window <= 0 {
+		c.Window = 2 * time.Millisecond
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.DeviceQueueDepth <= 0 {
+		c.DeviceQueueDepth = 8
+	}
+	if c.Clock == nil {
+		start := time.Now()
+		c.Clock = func() time.Duration { return time.Since(start) }
+	}
+}
+
+// Sentinel errors of the admission layer.
+var (
+	// ErrAdmissionFull is returned by Submit when the bounded admission
+	// queue is at capacity — the load-shedding backpressure signal
+	// (HTTP servers translate it to 503).
+	ErrAdmissionFull = errors.New("core: pipeline admission queue full")
+	// ErrPipelineClosed is returned by Submit after Close.
+	ErrPipelineClosed = errors.New("core: pipeline closed")
+)
+
+// PipelineRequest is one classification job entering the pipeline.
+type PipelineRequest struct {
+	Model  string
+	Policy Policy
+	// Input carries real samples (batch on dim 0). When nil the request
+	// is timing-only and Batch gives the sample count — the Estimate
+	// fast path replays and benchmarks use.
+	Input *tensor.Tensor
+	Batch int
+}
+
+// Completion is the resolved outcome of one pipelined request.
+type Completion struct {
+	// Decision is the batch-level scheduling choice that served this
+	// request (shared by every request aggregated into the batch).
+	Decision Decision
+	// Classes holds this request's labels (nil for timing-only
+	// requests) — the request's slice of the aggregated batch output.
+	Classes []int
+	// BatchSize is the total sample count of the aggregated batch.
+	BatchSize int
+	// Wait is the aggregation delay this request paid before dispatch.
+	Wait time.Duration
+	// Latency is arrival → completion, including aggregation wait,
+	// device queueing and execution, in virtual time.
+	Latency time.Duration
+	// Completed is the virtual completion timestamp.
+	Completed time.Duration
+	// EnergyJ is this request's proportional share of the batch energy.
+	EnergyJ float64
+	// Err is non-nil when the request failed (cancelled, execution
+	// error); all other fields may be zero then.
+	Err error
+}
+
+// Future resolves to a Completion exactly once.
+type Future struct {
+	ch chan Completion
+}
+
+// Wait blocks until the request completes or ctx is done. A ctx error
+// abandons the wait but does not recall work already queued — the batch
+// still executes and charges its devices.
+func (f *Future) Wait(ctx context.Context) (Completion, error) {
+	select {
+	case c := <-f.ch:
+		return c, nil
+	case <-ctx.Done():
+		return Completion{}, ctx.Err()
+	}
+}
+
+// PipelineStats snapshots pipeline activity.
+type PipelineStats struct {
+	Submitted int64 // requests accepted into admission
+	Shed      int64 // requests rejected with ErrAdmissionFull
+	Cancelled int64 // requests whose context ended before dispatch
+	Completed int64 // futures resolved (including failures)
+
+	Batches       int64 // aggregated batches dispatched
+	SizeFlushes   int64 // flushed by the MaxBatch trigger
+	WindowFlushes int64 // flushed by the Window timer
+	IdleFlushes   int64 // flushed by the work-conserving idle fast-path
+	DrainFlushes  int64 // flushed during Close
+
+	InFlight int64          // batches queued or executing now
+	Depth    map[string]int // per-device batches queued or executing
+}
+
+// pipeReq is one admitted request moving through the stages.
+type pipeReq struct {
+	ctx  context.Context
+	req  PipelineRequest
+	at   time.Duration // virtual arrival
+	size int
+	fut  *Future
+}
+
+// aggKey identifies one live aggregate. Timing-only and real requests
+// never mix: their execution paths differ.
+type aggKey struct {
+	model    string
+	pol      Policy
+	estimate bool
+}
+
+type aggregate struct {
+	gen     uint64
+	reqs    []*pipeReq
+	size    int
+	firstAt time.Duration
+}
+
+type flushMsg struct {
+	key aggKey
+	gen uint64
+}
+
+// batchWork is one flushed batch travelling to a device worker.
+type batchWork struct {
+	key     aggKey
+	reqs    []*pipeReq
+	size    int
+	flushAt time.Duration
+	dec     Decision
+	charge  time.Duration // occupancy charged to the device queue
+}
+
+// deviceQueue tracks one device worker's occupancy: queued batches plus
+// an EWMA-predicted amount of virtual work, which the scheduler's spill
+// logic reads through the queue probe.
+type deviceQueue struct {
+	name string
+	ch   chan *batchWork
+
+	mu        sync.Mutex
+	pending   time.Duration // estimated queued virtual work
+	perSample time.Duration // EWMA virtual latency per sample
+	depth     int           // batches queued or executing
+}
+
+// charge books the estimated virtual work of a batch of n samples.
+func (dq *deviceQueue) chargeBatch(n int) time.Duration {
+	dq.mu.Lock()
+	defer dq.mu.Unlock()
+	c := dq.perSample * time.Duration(n)
+	dq.pending += c
+	dq.depth++
+	return c
+}
+
+// completeBatch releases a charge and folds the observed virtual latency
+// into the per-sample estimate.
+func (dq *deviceQueue) completeBatch(charge, observed time.Duration, n int) {
+	dq.mu.Lock()
+	defer dq.mu.Unlock()
+	dq.pending -= charge
+	if dq.pending < 0 {
+		dq.pending = 0
+	}
+	dq.depth--
+	if observed > 0 && n > 0 {
+		per := observed / time.Duration(n)
+		if dq.perSample == 0 {
+			dq.perSample = per
+		} else {
+			dq.perSample = (7*dq.perSample + per) / 8
+		}
+	}
+}
+
+func (dq *deviceQueue) occupancy() time.Duration {
+	dq.mu.Lock()
+	defer dq.mu.Unlock()
+	return dq.pending
+}
+
+func (dq *deviceQueue) queued() int {
+	dq.mu.Lock()
+	defer dq.mu.Unlock()
+	return dq.depth
+}
+
+// NewPipeline builds and starts the serving pipeline over a scheduler:
+// one admit/batching goroutine plus one worker per device. The pipeline
+// registers its queue occupancy with the scheduler so spill decisions
+// (Config.MaxQueueDelay) observe real queued work; only one pipeline
+// should serve a scheduler at a time. Call Close to drain and stop.
+func NewPipeline(sched *Scheduler, cfg PipelineConfig) *Pipeline {
+	cfg.fillDefaults()
+	p := &Pipeline{
+		sched:   sched,
+		cfg:     cfg,
+		admit:   make(chan *pipeReq, cfg.QueueDepth),
+		flushCh: make(chan flushMsg),
+		nudge:   make(chan struct{}, 1),
+		closing: make(chan struct{}),
+		done:    make(chan struct{}),
+		drained: make(chan struct{}),
+		aggs:    map[aggKey]*aggregate{},
+		queues:  map[string]*deviceQueue{},
+	}
+	for _, name := range sched.Devices() {
+		dq := &deviceQueue{name: name, ch: make(chan *batchWork, cfg.DeviceQueueDepth)}
+		p.queues[name] = dq
+	}
+	sched.SetQueueProbe(p.probeQueue)
+	for _, dq := range p.queues {
+		go p.worker(dq)
+	}
+	go p.admitLoop()
+	return p
+}
+
+// probeQueue reports the estimated virtual delay queued ahead of new
+// work on a device — the scheduler adds it to the device's committed
+// busy horizon when deciding whether to spill.
+func (p *Pipeline) probeQueue(device string) time.Duration {
+	if dq := p.queues[device]; dq != nil {
+		return dq.occupancy()
+	}
+	return 0
+}
+
+// Submit admits one request. It never blocks: a full admission queue
+// sheds the request with ErrAdmissionFull, a closed pipeline returns
+// ErrPipelineClosed, and validation failures surface immediately. On
+// success the returned future resolves exactly once.
+func (p *Pipeline) Submit(ctx context.Context, req PipelineRequest) (*Future, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	size := req.Batch
+	if req.Input != nil {
+		if req.Input.Rank() < 1 || req.Input.Dim(0) <= 0 {
+			return nil, fmt.Errorf("core: pipeline input needs a positive batch dimension")
+		}
+		size = req.Input.Dim(0)
+	}
+	if size <= 0 {
+		return nil, fmt.Errorf("core: batch size must be positive, got %d", size)
+	}
+	spec, err := p.sched.disp.Spec(req.Model)
+	if err != nil {
+		return nil, err
+	}
+	if !p.sched.hasPolicy(req.Policy) {
+		return nil, fmt.Errorf("core: unknown policy %v", req.Policy)
+	}
+	if req.Input != nil {
+		per := 1
+		for _, d := range spec.InputShape {
+			per *= d
+		}
+		if req.Input.Len() != size*per {
+			return nil, fmt.Errorf("core: %s expects %d values per sample, input carries %d for batch %d",
+				req.Model, per, req.Input.Len(), size)
+		}
+	}
+
+	r := &pipeReq{ctx: ctx, req: req, size: size, fut: &Future{ch: make(chan Completion, 1)}}
+	p.closeMu.Lock()
+	if p.closed {
+		p.closeMu.Unlock()
+		return nil, ErrPipelineClosed
+	}
+	r.at = p.cfg.Clock()
+	select {
+	case p.admit <- r:
+		p.submitted.Add(1)
+		p.closeMu.Unlock()
+		return r.fut, nil
+	default:
+		p.shed.Add(1)
+		p.closeMu.Unlock()
+		return nil, ErrAdmissionFull
+	}
+}
+
+// Do submits a request and waits for its completion — the synchronous
+// convenience the HTTP handlers and benchmarks use.
+func (p *Pipeline) Do(ctx context.Context, req PipelineRequest) (Completion, error) {
+	fut, err := p.Submit(ctx, req)
+	if err != nil {
+		return Completion{}, err
+	}
+	return fut.Wait(ctx)
+}
+
+// Close stops admission, flushes every open aggregate, drains the
+// device queues and waits for all in-flight work to complete. Every
+// accepted request's future resolves before Close returns. Close is
+// idempotent.
+func (p *Pipeline) Close() {
+	p.closeMu.Lock()
+	if p.closed {
+		p.closeMu.Unlock()
+		<-p.drained
+		return
+	}
+	p.closed = true
+	p.closeMu.Unlock()
+	close(p.closing)
+	<-p.drained
+	p.sched.SetQueueProbe(nil)
+}
+
+// Stats snapshots pipeline activity.
+func (p *Pipeline) Stats() PipelineStats {
+	st := PipelineStats{
+		Submitted:     p.submitted.Load(),
+		Shed:          p.shed.Load(),
+		Cancelled:     p.cancelled.Load(),
+		Completed:     p.completed.Load(),
+		Batches:       p.batches.Load(),
+		SizeFlushes:   p.sizeFl.Load(),
+		WindowFlushes: p.windowFl.Load(),
+		IdleFlushes:   p.idleFl.Load(),
+		DrainFlushes:  p.drainFl.Load(),
+		InFlight:      p.inflight.Load(),
+		Depth:         map[string]int{},
+	}
+	for name, dq := range p.queues {
+		st.Depth[name] = dq.queued()
+	}
+	return st
+}
+
+// ---- stage 2: the admit/batching loop ----------------------------------
+
+func (p *Pipeline) admitLoop() {
+	for {
+		select {
+		case r := <-p.admit:
+			p.ingest(r)
+		case m := <-p.flushCh:
+			if p.flushKey(m.key, m.gen) {
+				p.windowFl.Add(1)
+			}
+		case <-p.nudge:
+			// A worker drained the system: dispatch whatever aggregated
+			// while it was busy instead of waiting out the window.
+			if !p.cfg.HoldWindow && p.idle() {
+				for key, agg := range p.aggs {
+					if p.flushKey(key, agg.gen) {
+						p.idleFl.Add(1)
+					}
+				}
+			}
+		case <-p.closing:
+			p.drain()
+			return
+		}
+	}
+}
+
+// drain empties admission, flushes all aggregates and stops the workers.
+func (p *Pipeline) drain() {
+	for {
+		select {
+		case r := <-p.admit:
+			p.ingest(r)
+			continue
+		default:
+		}
+		break
+	}
+	for key, agg := range p.aggs {
+		if p.flushKey(key, agg.gen) {
+			p.drainFl.Add(1)
+		}
+	}
+	for _, dq := range p.queues {
+		close(dq.ch)
+	}
+	// Workers signal idleness on the buffered nudge channel; nothing
+	// reads it anymore, which is fine — sends are non-blocking.
+	close(p.done) // release pending window timers
+	close(p.drained)
+}
+
+func (p *Pipeline) idle() bool {
+	return p.inflight.Load() == 0 && len(p.admit) == 0
+}
+
+func (p *Pipeline) ingest(r *pipeReq) {
+	if err := r.ctx.Err(); err != nil {
+		p.cancelled.Add(1)
+		p.finish(r, Completion{Err: err})
+		return
+	}
+	key := aggKey{model: r.req.Model, pol: r.req.Policy, estimate: r.req.Input == nil}
+	agg := p.aggs[key]
+	if agg == nil {
+		p.gen++
+		agg = &aggregate{gen: p.gen, firstAt: r.at}
+		p.aggs[key] = agg
+		gen := agg.gen
+		// Arm the window timer for the oldest request of the aggregate.
+		time.AfterFunc(p.cfg.Window, func() {
+			select {
+			case p.flushCh <- flushMsg{key: key, gen: gen}:
+			case <-p.done:
+			}
+		})
+	}
+	agg.reqs = append(agg.reqs, r)
+	agg.size += r.size
+	switch {
+	case agg.size >= p.cfg.MaxBatch:
+		if p.flushKey(key, agg.gen) {
+			p.sizeFl.Add(1)
+		}
+	case !p.cfg.HoldWindow && p.idle():
+		if p.flushKey(key, agg.gen) {
+			p.idleFl.Add(1)
+		}
+	}
+}
+
+// flushKey dispatches the aggregate identified by (key, gen). Stale
+// generations (already flushed, slot reused) are ignored. Reports
+// whether a batch was actually dispatched.
+func (p *Pipeline) flushKey(key aggKey, gen uint64) bool {
+	agg := p.aggs[key]
+	if agg == nil || agg.gen != gen {
+		return false
+	}
+	delete(p.aggs, key)
+
+	// Drop requests whose context ended while aggregating.
+	live := agg.reqs[:0]
+	size := 0
+	for _, r := range agg.reqs {
+		if err := r.ctx.Err(); err != nil {
+			p.cancelled.Add(1)
+			p.finish(r, Completion{Err: err})
+			continue
+		}
+		live = append(live, r)
+		size += r.size
+	}
+	if len(live) == 0 {
+		return false
+	}
+
+	now := p.cfg.Clock()
+	dec, err := p.sched.Select(key.model, size, key.pol, now)
+	if err != nil {
+		for _, r := range live {
+			p.finish(r, Completion{Err: err})
+		}
+		return false
+	}
+	dq := p.queues[dec.Device]
+	if dq == nil { // defensive: scheduler named an unknown device
+		err := fmt.Errorf("core: pipeline has no queue for device %q", dec.Device)
+		for _, r := range live {
+			p.finish(r, Completion{Decision: dec, Err: err})
+		}
+		return false
+	}
+	work := &batchWork{
+		key:     key,
+		reqs:    live,
+		size:    size,
+		flushAt: now,
+		dec:     dec,
+		charge:  dq.chargeBatch(size),
+	}
+	p.inflight.Add(1)
+	p.batches.Add(1)
+	// A full device queue blocks here: backpressure propagates through
+	// the admit loop into the bounded admission queue, which sheds.
+	dq.ch <- work
+	return true
+}
+
+// ---- stage 3: per-device workers ---------------------------------------
+
+func (p *Pipeline) worker(dq *deviceQueue) {
+	for work := range dq.ch {
+		p.runBatch(dq, work)
+	}
+}
+
+func (p *Pipeline) runBatch(dq *deviceQueue, w *batchWork) {
+	if p.testExecHook != nil {
+		p.testExecHook(dq.name)
+	}
+	now := p.cfg.Clock()
+	var res *opencl.Result
+	var err error
+	if w.key.estimate {
+		res, err = p.sched.rt.Estimate(w.dec.Device, w.key.model, w.size, now)
+	} else {
+		res, err = p.sched.rt.Classify(w.dec.Device, w.key.model, concatInputs(w.reqs, w.size), now)
+	}
+	var observed time.Duration
+	if err == nil {
+		_ = p.sched.Observe(w.dec, res)
+		observed = res.Latency()
+	}
+	dq.completeBatch(w.charge, observed, w.size)
+	if p.inflight.Add(-1) == 0 {
+		select { // wake the batcher: nothing left to amortise against
+		case p.nudge <- struct{}{}:
+		default:
+		}
+	}
+	if err != nil {
+		for _, r := range w.reqs {
+			p.finish(r, Completion{Decision: w.dec, Err: err})
+		}
+		return
+	}
+
+	// Stage 4: completion — split the batch back into requests.
+	off := 0
+	for _, r := range w.reqs {
+		c := Completion{
+			Decision:  w.dec,
+			BatchSize: w.size,
+			Wait:      w.flushAt - r.at,
+			Latency:   res.Completed - r.at,
+			Completed: res.Completed,
+			EnergyJ:   res.EnergyJ * float64(r.size) / float64(w.size),
+		}
+		if res.Classes != nil {
+			c.Classes = append([]int(nil), res.Classes[off:off+r.size]...)
+		}
+		off += r.size
+		p.finish(r, c)
+	}
+}
+
+// concatInputs stacks the requests' input tensors along dim 0. Shapes
+// were validated against the model spec at Submit, so per-sample layouts
+// agree.
+func concatInputs(reqs []*pipeReq, size int) *tensor.Tensor {
+	first := reqs[0].req.Input
+	per := first.Len() / first.Dim(0)
+	flat := make([]float32, 0, size*per)
+	for _, r := range reqs {
+		flat = append(flat, r.req.Input.Data()...)
+	}
+	shape := append([]int{size}, first.Shape()[1:]...)
+	return tensor.FromSlice(flat, shape...)
+}
+
+func (p *Pipeline) finish(r *pipeReq, c Completion) {
+	r.fut.ch <- c // buffered(1); each request finishes exactly once
+	p.completed.Add(1)
+}
+
+// ---- driving the pipeline from trace generators ------------------------
+
+// Play drives a request trace through the live pipeline, replaying
+// arrivals on the wall clock compressed by speedup (e.g. 100 plays a
+// 10 s trace in 0.1 s) and waiting for every completion. Requests are
+// timing-only (the Estimate path), matching Scheduler.Replay, but unlike
+// Replay they flow through admission, live batching and the device
+// queues — requests shed at admission are counted in Dropped. Devices
+// are not reset: Play observes the system as it is, like live traffic.
+func (p *Pipeline) Play(ctx context.Context, tr trace.Trace, pol Policy, speedup float64) (ReplayResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	res := ReplayResult{PerDevice: map[string]int{}}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var firstErr error
+	for req := range trace.Play(ctx, tr, speedup) {
+		fut, err := p.Submit(ctx, PipelineRequest{Model: req.Model, Policy: pol, Batch: req.Batch})
+		if errors.Is(err, ErrAdmissionFull) {
+			res.Dropped++
+			continue
+		}
+		if err != nil {
+			return ReplayResult{}, err
+		}
+		wg.Add(1)
+		batch := req.Batch
+		go func() {
+			defer wg.Done()
+			c, err := fut.Wait(ctx)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil || c.Err != nil {
+				if firstErr == nil {
+					firstErr = err
+					if firstErr == nil {
+						firstErr = c.Err
+					}
+				}
+				return
+			}
+			res.Requests++
+			res.TotalSamples += int64(batch)
+			res.TotalEnergyJ += c.EnergyJ
+			res.record(c.Latency)
+			if c.Completed > res.Makespan {
+				res.Makespan = c.Completed
+			}
+			res.PerDevice[c.Decision.Device]++
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return ReplayResult{}, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return ReplayResult{}, err
+	}
+	return res, nil
+}

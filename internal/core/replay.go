@@ -20,7 +20,10 @@ type ReplayResult struct {
 	MaxLatency   time.Duration
 	PerDevice    map[string]int
 	Spills       int
-	latencies    []time.Duration
+	// Dropped counts requests shed at admission — only live pipeline
+	// replays (Pipeline.Play) populate it; offline replays admit all.
+	Dropped   int
+	latencies []time.Duration
 }
 
 // AvgLatency returns the mean request latency.
@@ -75,7 +78,9 @@ func (s *Scheduler) ResetDevices() {
 	for _, d := range s.devices {
 		d.Reset()
 	}
+	s.mu.Lock()
 	s.health = newHealthMonitor()
+	s.mu.Unlock()
 }
 
 // Replay feeds a request trace through the scheduler under one policy

@@ -121,8 +121,9 @@ type Scheduler struct {
 	health      *healthMonitor
 	audit       *auditLog
 
-	mu    sync.Mutex
-	stats Stats
+	mu         sync.Mutex
+	stats      Stats
+	queueProbe func(device string) time.Duration
 }
 
 // New characterises the devices over the training models, trains one
@@ -201,7 +202,9 @@ func (s *Scheduler) CVMetrics() map[Policy]mlsched.Metrics { return s.cvMetrics 
 // Classifier returns the trained selector for a policy.
 func (s *Scheduler) Classifier(p Policy) mlsched.Classifier { return s.classifiers[p] }
 
-// Devices lists device names in class order.
+// Devices lists device names in class order — the classifier's label
+// order, which is fixed at construction and therefore deterministic
+// (API responses and test goldens can rely on it).
 func (s *Scheduler) Devices() []string {
 	out := make([]string, len(s.devices))
 	for i, d := range s.devices {
@@ -227,11 +230,14 @@ func (s *Scheduler) Retrain(extra []*nn.Spec) error {
 	if len(extra) == 0 {
 		return fmt.Errorf("core: Retrain needs at least one new architecture")
 	}
+	s.mu.Lock()
+	base := append([]*nn.Spec(nil), s.cfg.TrainModels...)
+	s.mu.Unlock()
 	seen := map[string]bool{}
-	for _, spec := range s.cfg.TrainModels {
+	for _, spec := range base {
 		seen[spec.Name] = true
 	}
-	specs := append([]*nn.Spec(nil), s.cfg.TrainModels...)
+	specs := base
 	for _, spec := range extra {
 		if seen[spec.Name] {
 			return fmt.Errorf("core: architecture %q already in the training corpus", spec.Name)
@@ -266,6 +272,40 @@ func (s *Scheduler) Retrain(extra []*nn.Spec) error {
 	return nil
 }
 
+// SetQueueProbe installs a callback reporting the estimated additional
+// delay queued ahead of new work on a device, beyond the device
+// simulator's committed busy horizon. The serving pipeline registers
+// its per-device worker-queue occupancy here, so the spill-to-next-
+// ranked adaptation (Config.MaxQueueDelay, §V) reads real queue state.
+// Pass nil to detach.
+func (s *Scheduler) SetQueueProbe(fn func(device string) time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.queueProbe = fn
+}
+
+// classifierFor returns the trained selector for a policy under the
+// scheduler lock (Retrain swaps classifiers concurrently).
+func (s *Scheduler) classifierFor(p Policy) (mlsched.Classifier, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.classifiers[p]
+	return c, ok
+}
+
+// hasPolicy reports whether a trained classifier exists for the policy.
+func (s *Scheduler) hasPolicy(p Policy) bool {
+	_, ok := s.classifierFor(p)
+	return ok
+}
+
+// monitor returns the current health monitor (swapped by ResetDevices).
+func (s *Scheduler) monitor() *healthMonitor {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.health
+}
+
 // probeGPU performs the paper's PCIe state probe. Systems without a
 // boosted device report warm (no cold-clock penalty exists).
 func (s *Scheduler) probeGPU(now time.Duration) bool {
@@ -286,10 +326,14 @@ func (s *Scheduler) Select(model string, batch int, pol Policy, now time.Duratio
 	if err != nil {
 		return Decision{}, err
 	}
-	clf, ok := s.classifiers[pol]
+	clf, ok := s.classifierFor(pol)
 	if !ok {
 		return Decision{}, fmt.Errorf("core: unknown policy %v", pol)
 	}
+	s.mu.Lock()
+	probe := s.queueProbe
+	health := s.health
+	s.mu.Unlock()
 	warm := s.probeGPU(now)
 	feats := characterize.Features(spec.Descriptor(), batch, warm)
 
@@ -314,6 +358,9 @@ func (s *Scheduler) Select(model string, batch int, pol Policy, now time.Duratio
 	// Online adaptation: spill to the next-ranked device if the choice
 	// is overloaded (queue beyond MaxQueueDelay) or flagged degraded by
 	// the health monitor (external interference, §I "system changes").
+	// Occupancy is the device's committed busy horizon plus, when a
+	// serving pipeline is attached, the real work queued in its
+	// per-device worker queue.
 	choice := order[0]
 	spilled := false
 	if s.cfg.MaxQueueDelay >= 0 {
@@ -323,10 +370,13 @@ func (s *Scheduler) Select(model string, batch int, pol Policy, now time.Duratio
 				continue
 			}
 			wait := s.devices[c].StateAt(now).BusyUntil - now
+			if probe != nil {
+				wait += probe(s.devices[c].Name())
+			}
 			if wait > s.cfg.MaxQueueDelay {
 				continue
 			}
-			if s.health.degraded(s.devices[c].Name()) {
+			if health.degraded(s.devices[c].Name()) {
 				if healthyIdx == -1 {
 					healthyIdx = c // remember the best contended option
 				}

@@ -2,6 +2,7 @@ package opencl
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -16,6 +17,13 @@ import (
 // then dispatched to whichever device the scheduler selects.
 type Runtime struct {
 	ctx *Context
+
+	// submit serialises whole command sequences per device: without it,
+	// two concurrent Classify calls targeting the same device interleave
+	// their write/kernel/read commands on the device's virtual timeline,
+	// producing incoherent profiling logs. Cross-device dispatch stays
+	// fully parallel, which is what the serving pipeline exploits.
+	submit map[string]*sync.Mutex
 
 	mu       sync.Mutex
 	programs map[string]*Program // model name → compiled pipeline
@@ -54,7 +62,11 @@ func NewRuntime(sims ...*device.Device) (*Runtime, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Runtime{ctx: ctx, programs: map[string]*Program{}}, nil
+	submit := make(map[string]*sync.Mutex, len(ctx.Devices))
+	for _, d := range ctx.Devices {
+		submit[d.Name()] = &sync.Mutex{}
+	}
+	return &Runtime{ctx: ctx, submit: submit, programs: map[string]*Program{}}, nil
 }
 
 // Context exposes the runtime's OpenCL context.
@@ -91,7 +103,7 @@ func (r *Runtime) Program(model string) (*Program, error) {
 	return p, nil
 }
 
-// Models lists loaded model names.
+// Models lists loaded model names, sorted for stable output.
 func (r *Runtime) Models() []string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -99,6 +111,7 @@ func (r *Runtime) Models() []string {
 	for n := range r.programs {
 		names = append(names, n)
 	}
+	sort.Strings(names)
 	return names
 }
 
@@ -153,6 +166,11 @@ func (r *Runtime) run(devName, model string, in *tensor.Tensor, n int, at time.D
 	if err != nil {
 		return nil, err
 	}
+	// Hold the device's submit lock for the whole command sequence so
+	// concurrent callers cannot interleave commands on its timeline.
+	lock := r.submit[dev.Name()]
+	lock.Lock()
+	defer lock.Unlock()
 	if in != nil {
 		wantShape := prog.Net.InputShape()
 		if in.Rank() != len(wantShape)+1 {

@@ -13,13 +13,20 @@
 //	GET  /v1/models     list loaded models
 //	GET  /v1/devices    device names, kinds and probe state
 //	GET  /v1/stats      scheduler decision statistics
+//	GET  /v1/pipeline   serving-pipeline statistics (queues, sheds, batches)
 //
-// Virtual time is mapped to wall-clock time since the server started, so
-// the GPU warms and cools as real seconds pass.
+// Classification requests flow through the concurrent serving pipeline
+// (admission → live batching → per-device worker queues): concurrent
+// clients posting the same model aggregate into one device batch, a full
+// admission queue sheds load with 503, and the request's context bounds
+// its time in the system. Virtual time is mapped to wall-clock time
+// since the server started, so the GPU warms and cools as real seconds
+// pass.
 package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
@@ -33,6 +40,7 @@ import (
 // Server is the HTTP facade over a trained scheduler.
 type Server struct {
 	sched *core.Scheduler
+	pipe  *core.Pipeline
 	start time.Time
 	mux   *http.ServeMux
 
@@ -41,19 +49,36 @@ type Server struct {
 	loaded map[string]bool
 }
 
-// New wraps a scheduler. seed drives the weight initialisation of models
-// loaded through the API.
+// New wraps a scheduler with a default serving pipeline. seed drives the
+// weight initialisation of models loaded through the API.
 func New(sched *core.Scheduler, seed int64) *Server {
+	return NewWithConfig(sched, seed, core.PipelineConfig{})
+}
+
+// NewWithConfig wraps a scheduler with an explicitly configured serving
+// pipeline (cfg.Clock is overridden to the server's virtual clock).
+func NewWithConfig(sched *core.Scheduler, seed int64, cfg core.PipelineConfig) *Server {
 	s := &Server{sched: sched, start: time.Now(), seed: seed, loaded: map[string]bool{}}
+	cfg.Clock = s.now
+	s.pipe = core.NewPipeline(sched, cfg)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/classify", s.handleClassify)
 	s.mux.HandleFunc("/v1/models", s.handleModels)
 	s.mux.HandleFunc("/v1/devices", s.handleDevices)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/v1/decisions", s.handleDecisions)
+	s.mux.HandleFunc("/v1/pipeline", s.handlePipeline)
 	sched.EnableAudit(1024)
 	return s
 }
+
+// Pipeline exposes the server's serving pipeline.
+func (s *Server) Pipeline() *core.Pipeline { return s.pipe }
+
+// Close drains the serving pipeline: admission stops (new classification
+// requests get 503), open batches flush, and in-flight work completes.
+// Call after http.Server.Shutdown so drained handlers have no successor.
+func (s *Server) Close() { s.pipe.Close() }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -91,6 +116,11 @@ type ClassifyResponse struct {
 	Classes   []int   `json:"classes"`
 	LatencyUS int64   `json:"latency_us"`
 	EnergyJ   float64 `json:"energy_j"`
+	// BatchSize is the aggregated live batch this request was served in
+	// (≥ the request's own sample count when concurrent requests merged).
+	BatchSize int `json:"batch_size"`
+	// WaitUS is the aggregation delay the request paid before dispatch.
+	WaitUS int64 `json:"wait_us"`
 }
 
 func parsePolicy(s string) (core.Policy, error) {
@@ -146,24 +176,46 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	shape := append([]int{len(req.Samples)}, spec.InputShape...)
 	in := tensor.FromSlice(flat, shape...)
 
-	res, dec, err := s.sched.Classify(req.Model, in, pol, s.now())
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, "%v", err)
+	// Hand the request to the serving pipeline and wait on its future.
+	// The request context bounds the whole stay: client disconnects and
+	// deadlines abandon the wait.
+	fut, err := s.pipe.Submit(r.Context(), core.PipelineRequest{
+		Model:  req.Model,
+		Policy: pol,
+		Input:  in,
+	})
+	switch {
+	case errors.Is(err, core.ErrAdmissionFull), errors.Is(err, core.ErrPipelineClosed):
+		// Load shedding: tell the client to back off and retry.
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if err := s.sched.Observe(dec, res); err != nil {
-		httpError(w, http.StatusInternalServerError, "%v", err)
+	c, err := fut.Wait(r.Context())
+	if err != nil {
+		// The client's deadline expired or it went away; the batch
+		// still completes server-side.
+		httpError(w, http.StatusGatewayTimeout, "%v", err)
+		return
+	}
+	if c.Err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", c.Err)
 		return
 	}
 	writeJSON(w, ClassifyResponse{
 		Model:     req.Model,
-		Device:    dec.Device,
-		Policy:    dec.Policy.String(),
-		GPUWarm:   dec.GPUWarm,
-		Spilled:   dec.Spilled,
-		Classes:   res.Classes,
-		LatencyUS: res.Latency().Microseconds(),
-		EnergyJ:   res.EnergyJ,
+		Device:    c.Decision.Device,
+		Policy:    c.Decision.Policy.String(),
+		GPUWarm:   c.Decision.GPUWarm,
+		Spilled:   c.Decision.Spilled,
+		Classes:   c.Classes,
+		LatencyUS: c.Latency.Microseconds(),
+		EnergyJ:   c.EnergyJ,
+		BatchSize: c.BatchSize,
+		WaitUS:    c.Wait.Microseconds(),
 	})
 }
 
@@ -288,6 +340,29 @@ func (s *Server) handleDecisions(w http.ResponseWriter, r *http.Request) {
 	if err := s.sched.WriteAuditJSON(w, n); err != nil {
 		httpError(w, http.StatusInternalServerError, "%v", err)
 	}
+}
+
+// handlePipeline exposes serving-pipeline statistics: admission totals,
+// load shed, batch flush triggers and live per-device queue depths.
+func (s *Server) handlePipeline(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	st := s.pipe.Stats()
+	writeJSON(w, map[string]interface{}{
+		"submitted":      st.Submitted,
+		"shed":           st.Shed,
+		"cancelled":      st.Cancelled,
+		"completed":      st.Completed,
+		"batches":        st.Batches,
+		"size_flushes":   st.SizeFlushes,
+		"window_flushes": st.WindowFlushes,
+		"idle_flushes":   st.IdleFlushes,
+		"drain_flushes":  st.DrainFlushes,
+		"in_flight":      st.InFlight,
+		"device_depth":   st.Depth,
+	})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -294,3 +294,96 @@ func TestDecisionsEndpoint(t *testing.T) {
 		t.Fatalf("bad n status %d", r2.StatusCode)
 	}
 }
+
+func TestClassifyReportsBatching(t *testing.T) {
+	ts := testServer(t)
+	resp := post(t, ts.URL+"/v1/classify", ClassifyRequest{
+		Model: "simple", Policy: "best-throughput",
+		Samples: [][]float32{{1, 2, 3, 4}, {4, 3, 2, 1}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out ClassifyResponse
+	decode(t, resp, &out)
+	if out.BatchSize < 2 {
+		t.Fatalf("batch_size = %d, want ≥ 2 (request had 2 samples)", out.BatchSize)
+	}
+	if out.WaitUS < 0 {
+		t.Fatalf("wait_us = %d, want ≥ 0", out.WaitUS)
+	}
+}
+
+func TestPipelineStatsEndpoint(t *testing.T) {
+	ts := testServer(t)
+	resp := post(t, ts.URL+"/v1/classify", ClassifyRequest{
+		Model: "simple", Samples: [][]float32{{1, 2, 3, 4}},
+	})
+	resp.Body.Close()
+	r, err := http.Get(ts.URL + "/v1/pipeline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats map[string]interface{}
+	decode(t, r, &stats)
+	for _, key := range []string{"submitted", "completed", "shed", "batches", "in_flight", "device_depth"} {
+		if _, ok := stats[key]; !ok {
+			t.Fatalf("pipeline stats missing %q: %v", key, stats)
+		}
+	}
+	if stats["submitted"].(float64) < 1 {
+		t.Fatalf("submitted = %v after a classify", stats["submitted"])
+	}
+}
+
+// TestShedReturns503 exercises the load-shedding contract end to end: a
+// server whose pipeline no longer admits work must answer 503 with a
+// JSON error body and a Retry-After hint, and draining must leave no
+// accepted request unanswered.
+func TestShedReturns503(t *testing.T) {
+	sched, err := core.New(core.Config{
+		TrainModels: models.PaperModels(),
+		Batches:     []int{8, 512, 8192, 65536},
+		Reps:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.LoadModel(models.Simple(), 1); err != nil {
+		t.Fatal(err)
+	}
+	api := NewWithConfig(sched, 1, core.PipelineConfig{QueueDepth: 1})
+	ts := httptest.NewServer(api)
+	defer ts.Close()
+
+	// Warm path works.
+	resp := post(t, ts.URL+"/v1/classify", ClassifyRequest{
+		Model: "simple", Samples: [][]float32{{1, 2, 3, 4}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Drain the pipeline — the graceful-shutdown sequence bomwsrv runs
+	// after http.Server.Shutdown. New work must now be shed with 503.
+	api.Close()
+	resp = post(t, ts.URL+"/v1/classify", ClassifyRequest{
+		Model: "simple", Samples: [][]float32{{1, 2, 3, 4}},
+	})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status after drain = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 missing Retry-After header")
+	}
+	var body map[string]string
+	decode(t, resp, &body)
+	if body["error"] == "" {
+		t.Fatalf("503 body not a JSON error: %v", body)
+	}
+	st := api.Pipeline().Stats()
+	if st.Submitted != st.Completed || st.InFlight != 0 {
+		t.Fatalf("drain left work behind: %+v", st)
+	}
+}

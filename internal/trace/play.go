@@ -1,0 +1,51 @@
+package trace
+
+import (
+	"context"
+	"time"
+)
+
+// Play replays a trace's arrival process on the wall clock, delivering
+// each request on the returned channel at its arrival time compressed
+// by speedup (speedup 100 plays a 10 s trace in 0.1 s; values ≤ 0 play
+// in real time). It is the bridge between the offline generators
+// (Poisson, Burst, Diurnal — the §I fluctuations) and a live serving
+// pipeline: instead of folding a complete trace offline, requests
+// arrive one by one, as real traffic would.
+//
+// The channel is unbuffered, so a slow consumer delays subsequent
+// arrivals — exactly the backpressure a real ingest socket applies.
+// Cancelling ctx stops playback; the channel is always closed when
+// playback ends.
+func Play(ctx context.Context, tr Trace, speedup float64) <-chan Request {
+	if speedup <= 0 {
+		speedup = 1
+	}
+	ch := make(chan Request)
+	go func() {
+		defer close(ch)
+		timer := time.NewTimer(0)
+		if !timer.Stop() {
+			<-timer.C
+		}
+		defer timer.Stop()
+		start := time.Now()
+		for _, req := range tr {
+			due := time.Duration(float64(req.At) / speedup)
+			if wait := due - time.Since(start); wait > 0 {
+				timer.Reset(wait)
+				select {
+				case <-timer.C:
+				case <-ctx.Done():
+					return
+				}
+			}
+			select {
+			case ch <- req:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return ch
+}

@@ -1,0 +1,63 @@
+package trace
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestPlayDeliversWholeTrace(t *testing.T) {
+	tr, err := Poisson(40, 200, []string{"a", "b"}, []int{1, 8}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	var got []Request
+	for req := range Play(ctx, tr, 50) {
+		got = append(got, req)
+	}
+	if len(got) != len(tr) {
+		t.Fatalf("delivered %d of %d requests", len(got), len(tr))
+	}
+	for i, req := range got {
+		if req != tr[i] {
+			t.Fatalf("request %d delivered as %+v, want %+v (order must be preserved)", i, req, tr[i])
+		}
+	}
+}
+
+func TestPlayRespectsArrivalSpacing(t *testing.T) {
+	// Two requests 100 ms apart at speedup 2 must not both arrive
+	// within the first ~50 ms.
+	tr := Trace{
+		{At: 0, Model: "a", Batch: 1},
+		{At: 100 * time.Millisecond, Model: "a", Batch: 1},
+	}
+	start := time.Now()
+	ch := Play(context.Background(), tr, 2)
+	<-ch
+	<-ch
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Fatalf("second arrival after %v, want ≥ ~50ms", elapsed)
+	}
+}
+
+func TestPlayCancellation(t *testing.T) {
+	tr := Trace{
+		{At: 0, Model: "a", Batch: 1},
+		{At: time.Hour, Model: "a", Batch: 1},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := Play(ctx, tr, 1)
+	<-ch // first request arrives immediately
+	cancel()
+	select {
+	case _, ok := <-ch:
+		if ok {
+			t.Fatal("received a request after cancellation")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("channel not closed after cancellation")
+	}
+}
