@@ -1,10 +1,11 @@
 # Verification entry points. `make verify` is the gate every change
 # must pass: vet, build, the full test suite, and the race detector
-# over the concurrent packages (serving pipeline + HTTP server).
+# over the concurrent packages (serving pipeline + HTTP server + the
+# fault-injecting simulated runtime).
 
 GO ?= go
 
-.PHONY: verify build test vet race bench
+.PHONY: verify build test vet race bench soak
 
 verify: vet build test race
 
@@ -18,7 +19,12 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/server/... ./internal/trace/...
+	$(GO) test -race ./internal/core/... ./internal/server/... ./internal/trace/... ./internal/opencl/...
 
 bench:
 	$(GO) test -run=NONE -bench=BenchmarkPipelineServe -benchtime=2s ./internal/core/
+
+# Failure-domain soak: overload + persistent device faults + mid-run
+# recovery under the race detector (skipped by -short elsewhere).
+soak:
+	$(GO) test -race -count=1 -run 'TestSoak' -v ./internal/core/

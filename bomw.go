@@ -157,6 +157,28 @@ type Runtime = opencl.Runtime
 // NewRuntime discovers platforms over simulated devices.
 func NewRuntime(devices ...*Device) (*Runtime, error) { return opencl.NewRuntime(devices...) }
 
+// Deterministic fault injection for failure-domain drills: scripted
+// per-device error rates, latency spikes and outage windows on the
+// virtual clock. Attach with Runtime.SetFaultInjector; the serving
+// pipeline retries faulted batches on the next-ranked device and
+// quarantines devices that fail persistently.
+type (
+	// FaultInjector scripts deterministic device faults.
+	FaultInjector = opencl.FaultInjector
+	// FaultPlan is one device's scripted failure behaviour.
+	FaultPlan = opencl.FaultPlan
+	// OutageWindow is a virtual-time interval in which every execution fails.
+	OutageWindow = opencl.OutageWindow
+	// FaultStats counts a device's injected faults.
+	FaultStats = opencl.FaultStats
+	// DeviceFault is the error returned by injected failures.
+	DeviceFault = opencl.DeviceFault
+)
+
+// NewFaultInjector builds a fault injector whose draws derive
+// deterministically from seed.
+var NewFaultInjector = opencl.NewFaultInjector
+
 // Characterisation (Figs. 3-4) and dataset building (§V-B).
 type (
 	// Sweeper runs characterisation sweeps.
@@ -254,6 +276,9 @@ var (
 	ErrAdmissionFull = core.ErrAdmissionFull
 	// ErrPipelineClosed rejects work submitted after Close.
 	ErrPipelineClosed = core.ErrPipelineClosed
+	// ErrNoEligibleDevice reports that an exclusion set (failed or
+	// quarantined devices) left Select with no device to schedule on.
+	ErrNoEligibleDevice = core.ErrNoEligibleDevice
 )
 
 // PlayTrace replays a trace's arrival process on the wall clock,

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"bomw/internal/opencl"
+)
+
+// parseFaultSpec parses the -fault flag grammar into per-device plans:
+//
+//	spec    = clause *(";" clause)
+//	clause  = device "=" fault *("," fault)
+//	fault   = "err:" rate
+//	        | "spike:" rate ":" factor
+//	        | "outage:" duration "-" duration
+//
+// Device names may contain spaces (OpenCL names like "GTX 1080 Ti" do),
+// so the device is everything before the first "=". Outage bounds are on
+// the server's virtual clock — wall time since start.
+func parseFaultSpec(spec string) (map[string]opencl.FaultPlan, error) {
+	plans := map[string]opencl.FaultPlan{}
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		dev, faults, ok := strings.Cut(clause, "=")
+		dev = strings.TrimSpace(dev)
+		if !ok || dev == "" {
+			return nil, fmt.Errorf("bomwsrv: -fault clause %q is not device=fault[,fault...]", clause)
+		}
+		plan := plans[dev]
+		for _, f := range strings.Split(faults, ",") {
+			f = strings.TrimSpace(f)
+			kind, rest, _ := strings.Cut(f, ":")
+			switch kind {
+			case "err":
+				rate, err := strconv.ParseFloat(rest, 64)
+				if err != nil || rate < 0 || rate > 1 {
+					return nil, fmt.Errorf("bomwsrv: -fault %q: err rate must be in [0,1]", f)
+				}
+				plan.ErrorRate = rate
+			case "spike":
+				rateStr, factorStr, ok := strings.Cut(rest, ":")
+				if !ok {
+					return nil, fmt.Errorf("bomwsrv: -fault %q: spike needs rate:factor", f)
+				}
+				rate, err := strconv.ParseFloat(rateStr, 64)
+				if err != nil || rate < 0 || rate > 1 {
+					return nil, fmt.Errorf("bomwsrv: -fault %q: spike rate must be in [0,1]", f)
+				}
+				factor, err := strconv.ParseFloat(factorStr, 64)
+				if err != nil || factor <= 1 {
+					return nil, fmt.Errorf("bomwsrv: -fault %q: spike factor must be > 1", f)
+				}
+				plan.SpikeRate, plan.SpikeFactor = rate, factor
+			case "outage":
+				startStr, endStr, ok := strings.Cut(rest, "-")
+				if !ok {
+					return nil, fmt.Errorf("bomwsrv: -fault %q: outage needs start-end durations", f)
+				}
+				start, err1 := time.ParseDuration(startStr)
+				end, err2 := time.ParseDuration(endStr)
+				if err1 != nil || err2 != nil || start < 0 || end <= start {
+					return nil, fmt.Errorf("bomwsrv: -fault %q: outage window must be 0 <= start < end", f)
+				}
+				plan.Outages = append(plan.Outages, opencl.OutageWindow{Start: start, End: end})
+			default:
+				return nil, fmt.Errorf("bomwsrv: -fault %q: unknown fault kind %q (want err, spike or outage)", f, kind)
+			}
+		}
+		plans[dev] = plan
+	}
+	if len(plans) == 0 {
+		return nil, fmt.Errorf("bomwsrv: -fault spec %q names no device", spec)
+	}
+	return plans, nil
+}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseFaultSpec(t *testing.T) {
+	plans, err := parseFaultSpec("GTX 1080 Ti=err:0.05,spike:0.2:4; i7-8700 CPU=outage:30s-45s,outage:1m-2m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpu := plans["GTX 1080 Ti"]
+	if gpu.ErrorRate != 0.05 || gpu.SpikeRate != 0.2 || gpu.SpikeFactor != 4 {
+		t.Fatalf("gpu plan = %+v", gpu)
+	}
+	cpu := plans["i7-8700 CPU"]
+	if len(cpu.Outages) != 2 || cpu.Outages[0].Start != 30*time.Second || cpu.Outages[1].End != 2*time.Minute {
+		t.Fatalf("cpu plan = %+v", cpu)
+	}
+
+	for _, bad := range []string{
+		"",                    // no device
+		"=err:0.5",            // empty device
+		"dev",                 // no faults
+		"dev=err:1.5",         // rate out of range
+		"dev=err:abc",         // non-numeric
+		"dev=spike:0.5",       // missing factor
+		"dev=spike:0.5:0.5",   // factor must exceed 1
+		"dev=outage:10s",      // missing end
+		"dev=outage:45s-30s",  // inverted window
+		"dev=flaky:0.5",       // unknown kind
+		"dev=err:0.1,bogus:1", // one bad fault taints the clause
+	} {
+		if _, err := parseFaultSpec(bad); err == nil {
+			t.Errorf("spec %q accepted, want error", bad)
+		}
+	}
+}

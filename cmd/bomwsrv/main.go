@@ -15,6 +15,20 @@
 //	curl -s localhost:8080/v1/pipeline
 //	curl -s -X POST localhost:8080/v1/classify \
 //	  -d '{"model":"simple","policy":"lowest-latency","samples":[[5.1,3.5,1.4,0.2]]}'
+//
+// Fault injection (failure-domain drills): -fault scripts deterministic
+// device faults on the virtual clock (wall time since start). The spec
+// is semicolon-separated per-device clauses, each a comma-separated list
+// of faults:
+//
+//	bomwsrv -fault 'GTX 1080 Ti=err:0.05'                   5% execution errors
+//	bomwsrv -fault 'UHD Graphics 630=spike:0.2:4'           20% of runs ×4 slower
+//	bomwsrv -fault 'i7-8700 CPU=outage:30s-45s,err:0.01'    full outage window + errors
+//	bomwsrv -fault 'A=err:1;B=spike:0.5:8' -fault-seed 7    two devices, seeded draws
+//
+// Faulted batches fail over to the next-ranked device; persistent
+// failures quarantine the device (watch /v1/devices and /v1/stats) until
+// a recovery probe re-admits it.
 package main
 
 import (
@@ -30,6 +44,7 @@ import (
 
 	"bomw/internal/core"
 	"bomw/internal/models"
+	"bomw/internal/opencl"
 	"bomw/internal/server"
 )
 
@@ -42,7 +57,20 @@ func main() {
 	queueDepth := flag.Int("queue-depth", 256, "admission queue bound (requests)")
 	deviceDepth := flag.Int("device-queue-depth", 8, "per-device worker queue bound (batches)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget")
+	faultSpec := flag.String("fault", "", "fault-injection spec, e.g. 'GTX 1080 Ti=err:0.05,outage:30s-45s' (see doc comment)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for fault-injection draws")
 	flag.Parse()
+
+	// Parse the fault spec before the expensive characterisation run so a
+	// typo fails fast; device names are validated once the scheduler is up.
+	var faultPlans map[string]opencl.FaultPlan
+	if *faultSpec != "" {
+		var err error
+		if faultPlans, err = parseFaultSpec(*faultSpec); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 
 	var sched *core.Scheduler
 	var err error
@@ -67,6 +95,23 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+	}
+
+	if len(faultPlans) > 0 {
+		known := map[string]bool{}
+		for _, name := range sched.Devices() {
+			known[name] = true
+		}
+		fi := opencl.NewFaultInjector(*faultSeed)
+		for dev, plan := range faultPlans {
+			if !known[dev] {
+				fmt.Fprintf(os.Stderr, "bomwsrv: -fault names unknown device %q (have %v)\n", dev, sched.Devices())
+				os.Exit(1)
+			}
+			fi.SetPlan(dev, plan)
+		}
+		sched.Runtime().SetFaultInjector(fi)
+		fmt.Printf("bomwsrv: fault injection armed on %v (seed %d)\n", fi.Devices(), *faultSeed)
 	}
 
 	api := server.NewWithConfig(sched, *seed, core.PipelineConfig{

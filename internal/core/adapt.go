@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -16,15 +17,31 @@ import (
 // interference clears (observed ratios return to ≈1) the device is
 // promoted again — the scheduler "responds quickly to dynamic performance
 // fluctuations".
+// The monitor also owns the scheduler's failure domain: consecutive
+// execution errors quarantine a device (Select stops routing to it), and
+// a successful execution — normally a recovery probe — re-admits it.
 type healthMonitor struct {
 	mu        sync.Mutex
 	ratio     map[string]float64 // EWMA of observed/expected latency
 	alpha     float64
 	threshold float64
+
+	errs        map[string]int  // consecutive execution errors per device
+	quar        map[string]bool // devices currently quarantined
+	quarAfter   int             // consecutive errors that trigger quarantine
+	quarantines int64           // lifetime quarantine transitions
+	readmits    int64           // lifetime recovery transitions
 }
 
 func newHealthMonitor() *healthMonitor {
-	return &healthMonitor{ratio: map[string]float64{}, alpha: 0.4, threshold: 1.5}
+	return &healthMonitor{
+		ratio:     map[string]float64{},
+		alpha:     0.4,
+		threshold: 1.5,
+		errs:      map[string]int{},
+		quar:      map[string]bool{},
+		quarAfter: 3,
+	}
 }
 
 // observe folds one (expected, observed) latency pair into the estimate.
@@ -60,6 +77,62 @@ func (h *healthMonitor) slowdownEstimate(dev string) float64 {
 	return 1
 }
 
+// recordError counts one execution error; reaching the consecutive-error
+// threshold quarantines the device. Reports whether this call caused the
+// quarantine transition.
+func (h *healthMonitor) recordError(dev string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.errs[dev]++
+	if !h.quar[dev] && h.errs[dev] >= h.quarAfter {
+		h.quar[dev] = true
+		h.quarantines++
+		return true
+	}
+	return false
+}
+
+// recordSuccess resets the consecutive-error count and re-admits a
+// quarantined device — success is the recovery signal, whether it came
+// from a dedicated probe or from a batch that had nowhere else to run.
+// Reports whether the device was re-admitted by this call.
+func (h *healthMonitor) recordSuccess(dev string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.errs[dev] = 0
+	if h.quar[dev] {
+		delete(h.quar, dev)
+		h.readmits++
+		return true
+	}
+	return false
+}
+
+// isQuarantined reports whether the device is currently fenced off.
+func (h *healthMonitor) isQuarantined(dev string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.quar[dev]
+}
+
+// quarantinedList returns the currently quarantined devices.
+func (h *healthMonitor) quarantinedList() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]string, 0, len(h.quar))
+	for dev := range h.quar {
+		out = append(out, dev)
+	}
+	return out
+}
+
+// counters snapshots the lifetime quarantine/readmission totals.
+func (h *healthMonitor) counters() (quarantines, readmits int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.quarantines, h.readmits
+}
+
 // Observe feeds one completed execution back into the scheduler's health
 // monitor: the realized latency is compared against the expected latency
 // of an uncontended device in the same warm state (measured on a shadow
@@ -69,6 +142,9 @@ func (s *Scheduler) Observe(dec Decision, res *opencl.Result) error {
 	if res == nil {
 		return fmt.Errorf("core: Observe needs a result")
 	}
+	if len(res.Events) == 0 {
+		return fmt.Errorf("core: Observe needs a result with profiling events (device %s, model %s)", res.Device, res.Model)
+	}
 	shadow, err := s.shadowExpect(dec)
 	if err != nil {
 		return err
@@ -77,6 +153,55 @@ func (s *Scheduler) Observe(dec Decision, res *opencl.Result) error {
 	observed := res.Completed - res.Events[0].Start
 	s.monitor().observe(dec.Device, shadow, observed)
 	return nil
+}
+
+// ReportExecution feeds one execution outcome into the failure domain:
+// errors count toward the consecutive-error quarantine threshold, and a
+// success resets the count (re-admitting a quarantined device). The
+// serving pipeline calls it after every batch attempt.
+func (s *Scheduler) ReportExecution(dev string, err error) {
+	if err != nil {
+		s.monitor().recordError(dev)
+		return
+	}
+	s.monitor().recordSuccess(dev)
+}
+
+// Quarantined lists the devices currently fenced off by the failure
+// domain (sorted for stable output).
+func (s *Scheduler) Quarantined() []string {
+	out := s.monitor().quarantinedList()
+	sort.Strings(out)
+	return out
+}
+
+// ProbeQuarantined sends a one-sample probe execution to every
+// quarantined device at virtual time now; a successful probe re-admits
+// the device ("the system changes" both ways, §I — degradation and
+// recovery). Returns the devices re-admitted by this sweep. The serving
+// pipeline calls it periodically; tests and operators may call it
+// directly. A no-op when no model is loaded yet.
+func (s *Scheduler) ProbeQuarantined(now time.Duration) []string {
+	h := s.monitor()
+	quarantined := h.quarantinedList()
+	if len(quarantined) == 0 {
+		return nil
+	}
+	models := s.rt.Models()
+	if len(models) == 0 {
+		return nil
+	}
+	var readmitted []string
+	for _, dev := range quarantined {
+		if _, err := s.rt.Estimate(dev, models[0], 1, now); err != nil {
+			continue // still failing: stay quarantined
+		}
+		if h.recordSuccess(dev) {
+			readmitted = append(readmitted, dev)
+		}
+	}
+	sort.Strings(readmitted)
+	return readmitted
 }
 
 // shadowRequest converts a decision back into the request it served.

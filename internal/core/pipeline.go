@@ -60,7 +60,8 @@ type Pipeline struct {
 	gen  uint64
 
 	queues   map[string]*deviceQueue
-	inflight atomic.Int64 // batches queued or executing
+	inflight atomic.Int64   // batches queued or executing
+	workers  sync.WaitGroup // device workers + recovery prober still running
 
 	submitted atomic.Int64
 	shed      atomic.Int64
@@ -71,6 +72,9 @@ type Pipeline struct {
 	windowFl  atomic.Int64
 	idleFl    atomic.Int64
 	drainFl   atomic.Int64
+	retries   atomic.Int64
+	failovers atomic.Int64
+	execFails atomic.Int64
 
 	// testExecHook, when set, runs in each device worker before a batch
 	// executes — tests use it to hold workers and fill queues
@@ -103,6 +107,20 @@ type PipelineConfig struct {
 	// to wall-clock time since the pipeline was created (the serving
 	// mapping internal/server uses).
 	Clock func() time.Duration
+	// MaxAttempts bounds how many devices one batch may try: the first
+	// execution plus failover retries. On an execution error the batch
+	// re-Selects with every failed device excluded and runs on the
+	// next-ranked device, so one bad device degrades throughput instead
+	// of failing requests. Defaults to 3.
+	MaxAttempts int
+	// RetryBackoff is the wall-clock pause before each failover attempt,
+	// doubling per attempt. Defaults to 1 ms; negative disables backoff.
+	RetryBackoff time.Duration
+	// ProbeInterval is how often the recovery prober re-tests
+	// quarantined devices with a one-sample probe (re-admitting them on
+	// success). Defaults to 50 ms; negative disables the prober —
+	// Scheduler.ProbeQuarantined can still be called manually.
+	ProbeInterval time.Duration
 }
 
 func (c *PipelineConfig) fillDefaults() {
@@ -121,6 +139,15 @@ func (c *PipelineConfig) fillDefaults() {
 	if c.Clock == nil {
 		start := time.Now()
 		c.Clock = func() time.Duration { return time.Since(start) }
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = time.Millisecond
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = 50 * time.Millisecond
 	}
 }
 
@@ -198,6 +225,10 @@ type PipelineStats struct {
 	WindowFlushes int64 // flushed by the Window timer
 	IdleFlushes   int64 // flushed by the work-conserving idle fast-path
 	DrainFlushes  int64 // flushed during Close
+
+	Retries      int64 // failover re-executions after a device error
+	Failovers    int64 // batches completed on a device other than the one that failed them
+	ExecFailures int64 // batches that exhausted every attempt and failed their requests
 
 	InFlight int64          // batches queued or executing now
 	Depth    map[string]int // per-device batches queued or executing
@@ -322,10 +353,31 @@ func NewPipeline(sched *Scheduler, cfg PipelineConfig) *Pipeline {
 	}
 	sched.SetQueueProbe(p.probeQueue)
 	for _, dq := range p.queues {
+		p.workers.Add(1)
 		go p.worker(dq)
+	}
+	if cfg.ProbeInterval > 0 {
+		p.workers.Add(1)
+		go p.prober()
 	}
 	go p.admitLoop()
 	return p
+}
+
+// prober periodically re-tests quarantined devices so recovered hardware
+// rejoins the schedulable set without operator action.
+func (p *Pipeline) prober() {
+	defer p.workers.Done()
+	tick := time.NewTicker(p.cfg.ProbeInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			p.sched.ProbeQuarantined(p.cfg.Clock())
+		case <-p.closing:
+			return
+		}
+	}
 }
 
 // probeQueue reports the estimated virtual delay queued ahead of new
@@ -433,6 +485,9 @@ func (p *Pipeline) Stats() PipelineStats {
 		WindowFlushes: p.windowFl.Load(),
 		IdleFlushes:   p.idleFl.Load(),
 		DrainFlushes:  p.drainFl.Load(),
+		Retries:       p.retries.Load(),
+		Failovers:     p.failovers.Load(),
+		ExecFailures:  p.execFails.Load(),
 		InFlight:      p.inflight.Load(),
 		Depth:         map[string]int{},
 	}
@@ -489,6 +544,10 @@ func (p *Pipeline) drain() {
 	for _, dq := range p.queues {
 		close(dq.ch)
 	}
+	// Wait for the workers to finish every queued batch (and the prober
+	// to exit) before reporting the pipeline drained: the Close contract
+	// is that every accepted request's future has resolved.
+	p.workers.Wait()
 	// Workers signal idleness on the buffered nudge channel; nothing
 	// reads it anymore, which is fine — sends are non-blocking.
 	close(p.done) // release pending window timers
@@ -595,29 +654,81 @@ func (p *Pipeline) flushKey(key aggKey, gen uint64) bool {
 // ---- stage 3: per-device workers ---------------------------------------
 
 func (p *Pipeline) worker(dq *deviceQueue) {
+	defer p.workers.Done()
 	for work := range dq.ch {
 		p.runBatch(dq, work)
 	}
 }
 
-func (p *Pipeline) runBatch(dq *deviceQueue, w *batchWork) {
-	if p.testExecHook != nil {
-		p.testExecHook(dq.name)
-	}
+// executeAttempt runs one batch attempt on the device dec names,
+// releasing the attempt's queue charge (dq may be nil when the failover
+// device has no queue) and folding the observed latency into the queue's
+// per-sample estimate on success.
+func (p *Pipeline) executeAttempt(dq *deviceQueue, w *batchWork, dec Decision, charge time.Duration) (*opencl.Result, error) {
 	now := p.cfg.Clock()
 	var res *opencl.Result
 	var err error
 	if w.key.estimate {
-		res, err = p.sched.rt.Estimate(w.dec.Device, w.key.model, w.size, now)
+		res, err = p.sched.rt.Estimate(dec.Device, w.key.model, w.size, now)
 	} else {
-		res, err = p.sched.rt.Classify(w.dec.Device, w.key.model, concatInputs(w.reqs, w.size), now)
+		res, err = p.sched.rt.Classify(dec.Device, w.key.model, concatInputs(w.reqs, w.size), now)
 	}
 	var observed time.Duration
 	if err == nil {
-		_ = p.sched.Observe(w.dec, res)
 		observed = res.Latency()
 	}
-	dq.completeBatch(w.charge, observed, w.size)
+	if dq != nil {
+		dq.completeBatch(charge, observed, w.size)
+	}
+	return res, err
+}
+
+// runBatch executes one flushed batch with bounded retry/failover: on an
+// execution error the batch re-Selects with every failed device excluded
+// and retries on the next-ranked device (after a doubling backoff), so a
+// failing device degrades throughput instead of failing every request
+// aggregated into the batch. Retries run inline on this worker — they
+// never re-enqueue onto another worker's channel, which keeps the drain
+// path deadlock-free; the runtime's per-device submit lock serialises
+// the cross-device execution with that device's own worker.
+func (p *Pipeline) runBatch(dq *deviceQueue, w *batchWork) {
+	if p.testExecHook != nil {
+		p.testExecHook(dq.name)
+	}
+	dec := w.dec
+	res, err := p.executeAttempt(dq, w, dec, w.charge)
+	if err != nil {
+		excluded := map[string]bool{dec.Device: true}
+		p.sched.ReportExecution(dec.Device, err)
+		for attempt := 1; err != nil && attempt < p.cfg.MaxAttempts; attempt++ {
+			if p.cfg.RetryBackoff > 0 {
+				time.Sleep(p.cfg.RetryBackoff << (attempt - 1))
+			}
+			next, serr := p.sched.SelectExcluding(w.key.model, w.size, w.key.pol, p.cfg.Clock(), excluded)
+			if serr != nil {
+				break // nowhere left to fail over to
+			}
+			p.retries.Add(1)
+			rq := p.queues[next.Device]
+			var charge time.Duration
+			if rq != nil {
+				charge = rq.chargeBatch(w.size)
+			}
+			res, err = p.executeAttempt(rq, w, next, charge)
+			p.sched.ReportExecution(next.Device, err)
+			if err != nil {
+				excluded[next.Device] = true
+				continue
+			}
+			dec = next
+			p.failovers.Add(1)
+		}
+	} else {
+		p.sched.ReportExecution(dec.Device, nil)
+	}
+	if err == nil {
+		_ = p.sched.Observe(dec, res)
+	}
 	if p.inflight.Add(-1) == 0 {
 		select { // wake the batcher: nothing left to amortise against
 		case p.nudge <- struct{}{}:
@@ -625,8 +736,9 @@ func (p *Pipeline) runBatch(dq *deviceQueue, w *batchWork) {
 		}
 	}
 	if err != nil {
+		p.execFails.Add(1)
 		for _, r := range w.reqs {
-			p.finish(r, Completion{Decision: w.dec, Err: err})
+			p.finish(r, Completion{Decision: dec, Err: err})
 		}
 		return
 	}
@@ -635,7 +747,7 @@ func (p *Pipeline) runBatch(dq *deviceQueue, w *batchWork) {
 	off := 0
 	for _, r := range w.reqs {
 		c := Completion{
-			Decision:  w.dec,
+			Decision:  dec,
 			BatchSize: w.size,
 			Wait:      w.flushAt - r.at,
 			Latency:   res.Completed - r.at,
@@ -686,14 +798,25 @@ func (p *Pipeline) Play(ctx context.Context, tr trace.Trace, pol Policy, speedup
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	var firstErr error
-	for req := range trace.Play(ctx, tr, speedup) {
+	playCtx, stopPlay := context.WithCancel(ctx)
+	defer stopPlay()
+	arrivals := trace.Play(playCtx, tr, speedup)
+	var submitErr error
+	for req := range arrivals {
 		fut, err := p.Submit(ctx, PipelineRequest{Model: req.Model, Policy: pol, Batch: req.Batch})
 		if errors.Is(err, ErrAdmissionFull) {
 			res.Dropped++
 			continue
 		}
 		if err != nil {
-			return ReplayResult{}, err
+			// Stop playback but do NOT return yet: completions of
+			// already-submitted requests are still being written, and
+			// abandoning wg would leak those goroutines mid-write.
+			submitErr = err
+			stopPlay()
+			for range arrivals { // release the playback goroutine
+			}
+			break
 		}
 		wg.Add(1)
 		batch := req.Batch
@@ -721,7 +844,10 @@ func (p *Pipeline) Play(ctx context.Context, tr trace.Trace, pol Policy, speedup
 			res.PerDevice[c.Decision.Device]++
 		}()
 	}
-	wg.Wait()
+	wg.Wait() // every submitted future has resolved past this point
+	if submitErr != nil {
+		return ReplayResult{}, submitErr
+	}
 	if firstErr != nil {
 		return ReplayResult{}, firstErr
 	}

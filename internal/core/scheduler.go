@@ -1,7 +1,9 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -102,8 +104,16 @@ type Decision struct {
 type Stats struct {
 	Decisions int
 	Spills    int
-	PerDevice map[string]int
-	PerPolicy map[Policy]int
+	// Quarantines counts lifetime quarantine transitions: devices fenced
+	// off after consecutive execution errors.
+	Quarantines int64
+	// Readmissions counts quarantined devices re-admitted after a
+	// successful execution (normally a recovery probe).
+	Readmissions int64
+	// Quarantined lists the devices currently fenced off, sorted.
+	Quarantined []string
+	PerDevice   map[string]int
+	PerPolicy   map[Policy]int
 }
 
 // Scheduler is the online adaptive scheduler of Fig. 5.
@@ -315,9 +325,26 @@ func (s *Scheduler) probeGPU(now time.Duration) bool {
 	return s.dgpu.StateAt(now).Warm
 }
 
+// ErrNoEligibleDevice is returned by SelectExcluding when the exclusion
+// set rules out every device — the retry loop's signal that failover has
+// run out of places to go.
+var ErrNoEligibleDevice = errors.New("core: no eligible device (all excluded)")
+
 // Select chooses the device for one request at virtual time now, without
 // executing it.
 func (s *Scheduler) Select(model string, batch int, pol Policy, now time.Duration) (Decision, error) {
+	return s.SelectExcluding(model, batch, pol, now, nil)
+}
+
+// SelectExcluding is Select with an exclusion set: devices named in
+// exclude are never chosen, regardless of the classifier's ranking. The
+// serving pipeline's retry/failover path uses it to re-route a failed
+// batch onto the next-ranked device, excluding every device that already
+// failed the batch. Quarantined devices (consecutive execution errors)
+// are likewise avoided, unless every remaining candidate is quarantined —
+// then the best-ranked one is used anyway, since refusing to schedule
+// would fail the request outright.
+func (s *Scheduler) SelectExcluding(model string, batch int, pol Policy, now time.Duration, exclude map[string]bool) (Decision, error) {
 	t0 := time.Now()
 	if batch <= 0 {
 		return Decision{}, fmt.Errorf("core: batch size must be positive, got %d", batch)
@@ -355,20 +382,41 @@ func (s *Scheduler) Select(model string, batch int, pol Policy, now time.Duratio
 		return Decision{}, fmt.Errorf("core: classifier ranked invalid class for %s", model)
 	}
 
+	// Failure domain: drop excluded devices outright, and fence off
+	// quarantined ones unless nothing else remains.
+	candidates := order[:0:0]
+	var quarantinedOnly []int
+	for _, c := range order {
+		if c >= len(s.devices) {
+			continue
+		}
+		name := s.devices[c].Name()
+		if exclude[name] {
+			continue
+		}
+		if health.isQuarantined(name) {
+			quarantinedOnly = append(quarantinedOnly, c)
+			continue
+		}
+		candidates = append(candidates, c)
+	}
+	if len(candidates) == 0 {
+		candidates = quarantinedOnly
+	}
+	if len(candidates) == 0 {
+		return Decision{}, fmt.Errorf("%w: %s batch %d", ErrNoEligibleDevice, model, batch)
+	}
+
 	// Online adaptation: spill to the next-ranked device if the choice
 	// is overloaded (queue beyond MaxQueueDelay) or flagged degraded by
 	// the health monitor (external interference, §I "system changes").
 	// Occupancy is the device's committed busy horizon plus, when a
 	// serving pipeline is attached, the real work queued in its
 	// per-device worker queue.
-	choice := order[0]
-	spilled := false
+	choice := candidates[0]
 	if s.cfg.MaxQueueDelay >= 0 {
 		healthyIdx := -1
-		for _, c := range order {
-			if c >= len(s.devices) {
-				continue
-			}
+		for _, c := range candidates {
 			wait := s.devices[c].StateAt(now).BusyUntil - now
 			if probe != nil {
 				wait += probe(s.devices[c].Name())
@@ -387,9 +435,9 @@ func (s *Scheduler) Select(model string, batch int, pol Policy, now time.Duratio
 		}
 		if healthyIdx >= 0 {
 			choice = healthyIdx
-			spilled = choice != order[0]
 		}
 	}
+	spilled := choice != order[0]
 
 	d := Decision{
 		Model:        model,
@@ -445,7 +493,7 @@ func (s *Scheduler) Estimate(model string, batch int, pol Policy, now time.Durat
 // Stats returns a snapshot of scheduler activity.
 func (s *Scheduler) Stats() Stats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	h := s.health
 	out := Stats{
 		Decisions: s.stats.Decisions,
 		Spills:    s.stats.Spills,
@@ -458,5 +506,9 @@ func (s *Scheduler) Stats() Stats {
 	for k, v := range s.stats.PerPolicy {
 		out.PerPolicy[k] = v
 	}
+	s.mu.Unlock()
+	out.Quarantines, out.Readmissions = h.counters()
+	out.Quarantined = h.quarantinedList()
+	sort.Strings(out.Quarantined)
 	return out
 }

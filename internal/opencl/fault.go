@@ -1,0 +1,179 @@
+package opencl
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DeviceFault is the error a faulty device surfaces from Classify or
+// Estimate: the simulated equivalent of CL_OUT_OF_RESOURCES or a hung
+// command queue. Schedulers treat it as a signal to retry elsewhere and
+// to quarantine the device when faults persist.
+type DeviceFault struct {
+	Device string
+	At     time.Duration // virtual submission time of the failed batch
+	Reason string        // "injected" (random error rate) or "outage" (scripted window)
+}
+
+func (e *DeviceFault) Error() string {
+	return fmt.Sprintf("opencl: device %q fault at %v (%s)", e.Device, e.At, e.Reason)
+}
+
+// OutageWindow is a scripted interval on the virtual clock during which
+// every execution on the device fails deterministically — the
+// reproducible "device goes away mid-run" scenario fault-injection tests
+// and soaks replay.
+type OutageWindow struct {
+	Start time.Duration
+	End   time.Duration
+}
+
+func (w OutageWindow) contains(at time.Duration) bool {
+	return at >= w.Start && at < w.End
+}
+
+// FaultPlan configures the faults injected on one device. The zero plan
+// injects nothing.
+type FaultPlan struct {
+	// ErrorRate is the probability in [0,1] that an execution fails with
+	// a DeviceFault. Draws come from the injector's per-device seeded
+	// stream, so a fixed seed reproduces the exact failure sequence.
+	ErrorRate float64
+	// SpikeRate is the probability in [0,1] that an execution's latency
+	// is stretched by SpikeFactor — transient contention the health
+	// monitor should notice without any request failing.
+	SpikeRate float64
+	// SpikeFactor multiplies the execution latency on a spike draw.
+	// Values ≤ 1 disable spiking.
+	SpikeFactor float64
+	// Outages are scripted windows on the virtual clock during which the
+	// device fails every execution, regardless of ErrorRate.
+	Outages []OutageWindow
+}
+
+// FaultStats counts one device's injector activity.
+type FaultStats struct {
+	Executions int64 // executions the injector inspected
+	Errors     int64 // failures from the ErrorRate draw
+	Outages    int64 // failures from a scripted outage window
+	Spikes     int64 // latency spikes applied
+}
+
+// FaultInjector injects deterministic faults into a Runtime: per-device
+// error rates, latency-spike multipliers, and scripted outage windows on
+// the virtual clock. Each device draws from its own seeded stream, and
+// the runtime serialises executions per device, so a fixed seed plus a
+// fixed per-device call sequence reproduces the exact same faults —
+// failures become testable and benchmarkable instead of anecdotal.
+type FaultInjector struct {
+	seed int64
+
+	mu    sync.Mutex
+	plans map[string]*faultState
+}
+
+type faultState struct {
+	plan  FaultPlan
+	rng   *rand.Rand
+	stats FaultStats
+}
+
+// NewFaultInjector creates an injector whose per-device random streams
+// derive from seed.
+func NewFaultInjector(seed int64) *FaultInjector {
+	return &FaultInjector{seed: seed, plans: map[string]*faultState{}}
+}
+
+// deviceSeed mixes the injector seed with the device name so devices
+// draw independent but reproducible streams.
+func (f *FaultInjector) deviceSeed(device string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(device))
+	return f.seed ^ int64(h.Sum64())
+}
+
+// SetPlan installs (or replaces) the fault plan for a device. Replacing
+// a plan resets the device's random stream, so the sequence after a
+// SetPlan is a pure function of (seed, device, plan, call index).
+func (f *FaultInjector) SetPlan(device string, plan FaultPlan) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.plans[device] = &faultState{
+		plan: plan,
+		rng:  rand.New(rand.NewSource(f.deviceSeed(device))),
+	}
+}
+
+// ClearPlan removes a device's fault plan: subsequent executions run
+// clean. Accumulated stats for the device are kept.
+func (f *FaultInjector) ClearPlan(device string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := f.plans[device]
+	if st == nil {
+		return
+	}
+	st.plan = FaultPlan{}
+}
+
+// Stats snapshots per-device injector counters for every device that
+// ever had a plan.
+func (f *FaultInjector) Stats() map[string]FaultStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]FaultStats, len(f.plans))
+	for dev, st := range f.plans {
+		out[dev] = st.stats
+	}
+	return out
+}
+
+// Devices lists devices with a plan, sorted for stable output.
+func (f *FaultInjector) Devices() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	names := make([]string, 0, len(f.plans))
+	for dev := range f.plans {
+		names = append(names, dev)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// verdict is one execution's fault decision.
+type verdict struct {
+	err   error
+	spike float64 // > 1 when a latency spike applies
+}
+
+// decide inspects one execution at virtual time at. Callers must hold
+// the runtime's per-device submit lock so the per-device draw sequence
+// is well defined under concurrency.
+func (f *FaultInjector) decide(device string, at time.Duration) verdict {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := f.plans[device]
+	if st == nil {
+		return verdict{}
+	}
+	st.stats.Executions++
+	for _, w := range st.plan.Outages {
+		if w.contains(at) {
+			st.stats.Outages++
+			return verdict{err: &DeviceFault{Device: device, At: at, Reason: "outage"}}
+		}
+	}
+	if st.plan.ErrorRate > 0 && st.rng.Float64() < st.plan.ErrorRate {
+		st.stats.Errors++
+		return verdict{err: &DeviceFault{Device: device, At: at, Reason: "injected"}}
+	}
+	if st.plan.SpikeRate > 0 && st.plan.SpikeFactor > 1 && st.rng.Float64() < st.plan.SpikeRate {
+		st.stats.Spikes++
+		return verdict{spike: st.plan.SpikeFactor}
+	}
+	return verdict{}
+}

@@ -1,0 +1,164 @@
+package opencl
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"bomw/internal/models"
+)
+
+func faultRuntime(t *testing.T, seed int64) (*Runtime, *FaultInjector) {
+	t.Helper()
+	rt, err := NewRuntime(testDevices()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.LoadModel(models.Simple().MustBuild(5)); err != nil {
+		t.Fatal(err)
+	}
+	fi := NewFaultInjector(seed)
+	rt.SetFaultInjector(fi)
+	return rt, fi
+}
+
+// failureSequence runs n estimates on a device and records which fail.
+func failureSequence(t *testing.T, rt *Runtime, dev string, n int) []bool {
+	t.Helper()
+	out := make([]bool, n)
+	at := time.Duration(0)
+	for i := range out {
+		res, err := rt.Estimate(dev, "simple", 8, at)
+		if err != nil {
+			var df *DeviceFault
+			if !errors.As(err, &df) {
+				t.Fatalf("run %d: non-fault error %v", i, err)
+			}
+			if df.Device != dev {
+				t.Fatalf("fault names device %q, want %q", df.Device, dev)
+			}
+			out[i] = true
+			continue
+		}
+		at = res.Completed
+	}
+	return out
+}
+
+func TestFaultInjectorDeterministicErrors(t *testing.T) {
+	const dev = "GTX 1080 Ti"
+	plan := FaultPlan{ErrorRate: 0.5}
+	rt1, fi1 := faultRuntime(t, 42)
+	fi1.SetPlan(dev, plan)
+	rt2, fi2 := faultRuntime(t, 42)
+	fi2.SetPlan(dev, plan)
+
+	seq1 := failureSequence(t, rt1, dev, 40)
+	seq2 := failureSequence(t, rt2, dev, 40)
+	fails := 0
+	for i := range seq1 {
+		if seq1[i] != seq2[i] {
+			t.Fatalf("same seed diverged at run %d: %v vs %v", i, seq1, seq2)
+		}
+		if seq1[i] {
+			fails++
+		}
+	}
+	if fails == 0 || fails == len(seq1) {
+		t.Fatalf("error rate 0.5 produced %d/%d failures", fails, len(seq1))
+	}
+	st := fi1.Stats()[dev]
+	if st.Executions != 40 || st.Errors != int64(fails) {
+		t.Fatalf("stats = %+v, want 40 executions / %d errors", st, fails)
+	}
+
+	// A different seed must produce a different sequence (overwhelmingly
+	// likely over 40 draws at rate 0.5).
+	rt3, fi3 := faultRuntime(t, 43)
+	fi3.SetPlan(dev, plan)
+	seq3 := failureSequence(t, rt3, dev, 40)
+	same := true
+	for i := range seq1 {
+		if seq1[i] != seq3[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical failure sequences")
+	}
+}
+
+func TestFaultInjectorOutageWindow(t *testing.T) {
+	const dev = "i7-8700 CPU"
+	rt, fi := faultRuntime(t, 1)
+	fi.SetPlan(dev, FaultPlan{Outages: []OutageWindow{{Start: time.Second, End: 2 * time.Second}}})
+
+	if _, err := rt.Estimate(dev, "simple", 8, 500*time.Millisecond); err != nil {
+		t.Fatalf("before outage: %v", err)
+	}
+	_, err := rt.Estimate(dev, "simple", 8, 1500*time.Millisecond)
+	var df *DeviceFault
+	if !errors.As(err, &df) || df.Reason != "outage" {
+		t.Fatalf("inside outage: err = %v, want outage DeviceFault", err)
+	}
+	if _, err := rt.Estimate(dev, "simple", 8, 2500*time.Millisecond); err != nil {
+		t.Fatalf("after outage: %v", err)
+	}
+	st := fi.Stats()[dev]
+	if st.Outages != 1 || st.Errors != 0 {
+		t.Fatalf("stats = %+v, want exactly 1 outage", st)
+	}
+}
+
+func TestFaultInjectorLatencySpike(t *testing.T) {
+	const dev = "UHD Graphics 630"
+	rt, _ := faultRuntime(t, 1)
+	base, err := rt.Estimate(dev, "simple", 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// SpikeRate 1 stretches every execution; compare against the clean
+	// baseline from identical device state (fresh runtime).
+	rt2, fi2 := faultRuntime(t, 1)
+	fi2.SetPlan(dev, FaultPlan{SpikeRate: 1, SpikeFactor: 8})
+	spiked, err := rt2.Estimate(dev, "simple", 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spiked.Latency() < 4*base.Latency() {
+		t.Fatalf("spike ×8 produced latency %v vs clean %v", spiked.Latency(), base.Latency())
+	}
+	if st := fi2.Stats()[dev]; st.Spikes != 1 {
+		t.Fatalf("stats = %+v, want 1 spike", st)
+	}
+}
+
+func TestFaultInjectorScopedToPlannedDevices(t *testing.T) {
+	rt, fi := faultRuntime(t, 7)
+	fi.SetPlan("GTX 1080 Ti", FaultPlan{ErrorRate: 1})
+	// Other devices run clean even with the injector attached.
+	for i := 0; i < 5; i++ {
+		if _, err := rt.Estimate("i7-8700 CPU", "simple", 8, 0); err != nil {
+			t.Fatalf("unplanned device failed: %v", err)
+		}
+	}
+	if _, err := rt.Estimate("GTX 1080 Ti", "simple", 8, 0); err == nil {
+		t.Fatal("error rate 1 did not fail")
+	}
+	// ClearPlan restores clean execution.
+	fi.ClearPlan("GTX 1080 Ti")
+	if _, err := rt.Estimate("GTX 1080 Ti", "simple", 8, 0); err != nil {
+		t.Fatalf("cleared plan still failing: %v", err)
+	}
+	if got := fi.Devices(); len(got) != 1 || got[0] != "GTX 1080 Ti" {
+		t.Fatalf("Devices() = %v", got)
+	}
+	// Detaching the injector disables everything.
+	fi.SetPlan("GTX 1080 Ti", FaultPlan{ErrorRate: 1})
+	rt.SetFaultInjector(nil)
+	if _, err := rt.Estimate("GTX 1080 Ti", "simple", 8, 0); err != nil {
+		t.Fatalf("detached injector still failing: %v", err)
+	}
+}

@@ -28,6 +28,23 @@ type Runtime struct {
 	mu       sync.Mutex
 	programs map[string]*Program // model name → compiled pipeline
 	observer func(device.Report)
+	faults   *FaultInjector
+}
+
+// SetFaultInjector attaches a fault injector: subsequent executions
+// consult it while holding the device's submit lock, so per-device fault
+// sequences are deterministic. Pass nil to detach.
+func (r *Runtime) SetFaultInjector(fi *FaultInjector) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.faults = fi
+}
+
+// FaultInjector returns the attached injector (nil when faults are off).
+func (r *Runtime) FaultInjector() *FaultInjector {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.faults
 }
 
 // SetObserver installs a callback invoked once per executed command with
@@ -171,6 +188,14 @@ func (r *Runtime) run(devName, model string, in *tensor.Tensor, n int, at time.D
 	lock := r.submit[dev.Name()]
 	lock.Lock()
 	defer lock.Unlock()
+	var spike float64
+	if fi := r.FaultInjector(); fi != nil {
+		v := fi.decide(devName, at)
+		if v.err != nil {
+			return nil, v.err
+		}
+		spike = v.spike
+	}
 	if in != nil {
 		wantShape := prog.Net.InputShape()
 		if in.Rank() != len(wantShape)+1 {
@@ -216,6 +241,15 @@ func (r *Runtime) run(devName, model string, in *tensor.Tensor, n int, at time.D
 	res.Completed = q.Finish(at)
 	res.Events = q.Events()
 	res.EnergyJ = q.EnergyJ()
+	if spike > 1 && len(res.Events) > 0 {
+		// A latency spike stretches the observable execution span (start
+		// of the first command → completion) without failing the batch:
+		// the health monitor sees a degraded device, clients just see a
+		// slow response. Device occupancy is not re-booked — spikes model
+		// transient external contention, not queued work.
+		span := res.Completed - res.Events[0].Start
+		res.Completed += time.Duration(float64(span) * (spike - 1))
+	}
 	r.notify(res.Events)
 	if x != nil {
 		res.Output = x

@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -273,8 +274,11 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.loaded[spec.Name] = true
+		// Content-Type must be set before WriteHeader — headers written
+		// after the status line are silently dropped.
+		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusCreated)
-		writeJSON(w, map[string]string{"loaded": spec.Name})
+		_ = json.NewEncoder(w).Encode(map[string]string{"loaded": spec.Name})
 	default:
 		httpError(w, http.StatusMethodNotAllowed, "GET or POST required")
 	}
@@ -284,12 +288,13 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 
 // DeviceStatus is one entry of GET /v1/devices.
 type DeviceStatus struct {
-	Name       string  `json:"name"`
-	Warm       bool    `json:"warm"`
-	ClockFrac  float64 `json:"clock_frac"`
-	BusyMicros int64   `json:"busy_us"`
-	Slowdown   float64 `json:"observed_slowdown"`
-	Degraded   bool    `json:"degraded"`
+	Name        string  `json:"name"`
+	Warm        bool    `json:"warm"`
+	ClockFrac   float64 `json:"clock_frac"`
+	BusyMicros  int64   `json:"busy_us"`
+	Slowdown    float64 `json:"observed_slowdown"`
+	Degraded    bool    `json:"degraded"`
+	Quarantined bool    `json:"quarantined"`
 }
 
 func (s *Server) handleDevices(w http.ResponseWriter, r *http.Request) {
@@ -298,6 +303,10 @@ func (s *Server) handleDevices(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	now := s.now()
+	quarantined := map[string]bool{}
+	for _, name := range s.sched.Quarantined() {
+		quarantined[name] = true
+	}
 	var out []DeviceStatus
 	for _, name := range s.sched.Devices() {
 		st, err := s.sched.Runtime().State(name, now)
@@ -311,12 +320,13 @@ func (s *Server) handleDevices(w http.ResponseWriter, r *http.Request) {
 			busy = 0
 		}
 		out = append(out, DeviceStatus{
-			Name:       name,
-			Warm:       st.Warm,
-			ClockFrac:  st.ClockFrac,
-			BusyMicros: busy.Microseconds(),
-			Slowdown:   slow,
-			Degraded:   degraded,
+			Name:        name,
+			Warm:        st.Warm,
+			ClockFrac:   st.ClockFrac,
+			BusyMicros:  busy.Microseconds(),
+			Slowdown:    slow,
+			Degraded:    degraded,
+			Quarantined: quarantined[name],
 		})
 	}
 	writeJSON(w, map[string]interface{}{"devices": out})
@@ -331,10 +341,14 @@ func (s *Server) handleDecisions(w http.ResponseWriter, r *http.Request) {
 	}
 	n := 50
 	if raw := r.URL.Query().Get("n"); raw != "" {
-		if _, err := fmt.Sscanf(raw, "%d", &n); err != nil || n <= 0 {
+		// strconv.Atoi rejects trailing junk ("50abc"), which Sscanf's
+		// %d would silently accept.
+		v, err := strconv.Atoi(raw)
+		if err != nil || v <= 0 {
 			httpError(w, http.StatusBadRequest, "invalid n %q", raw)
 			return
 		}
+		n = v
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := s.sched.WriteAuditJSON(w, n); err != nil {
@@ -360,6 +374,9 @@ func (s *Server) handlePipeline(w http.ResponseWriter, r *http.Request) {
 		"window_flushes": st.WindowFlushes,
 		"idle_flushes":   st.IdleFlushes,
 		"drain_flushes":  st.DrainFlushes,
+		"retries":        st.Retries,
+		"failovers":      st.Failovers,
+		"exec_failures":  st.ExecFailures,
 		"in_flight":      st.InFlight,
 		"device_depth":   st.Depth,
 	})
@@ -375,11 +392,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	for pol, n := range st.PerPolicy {
 		perPolicy[pol.String()] = n
 	}
+	quarantined := st.Quarantined
+	if quarantined == nil {
+		quarantined = []string{}
+	}
 	writeJSON(w, map[string]interface{}{
-		"decisions":  st.Decisions,
-		"spills":     st.Spills,
-		"per_device": st.PerDevice,
-		"per_policy": perPolicy,
-		"uptime_us":  s.now().Microseconds(),
+		"decisions":    st.Decisions,
+		"spills":       st.Spills,
+		"per_device":   st.PerDevice,
+		"per_policy":   perPolicy,
+		"quarantines":  st.Quarantines,
+		"readmissions": st.Readmissions,
+		"quarantined":  quarantined,
+		"uptime_us":    s.now().Microseconds(),
 	})
 }
