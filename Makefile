@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: verify build test vet race bench soak
+.PHONY: verify build test vet race bench soak soak-deadline fuzz
 
 verify: vet build test race
 
@@ -28,3 +28,18 @@ bench:
 # recovery under the race detector (skipped by -short elsewhere).
 soak:
 	$(GO) test -race -count=1 -run 'TestSoak' -v ./internal/core/
+
+# Deadline/overload soak: ≥2× saturation with mixed SLOs under the race
+# detector — feasible SLOs must keep ≥95% attainment while infeasible
+# and expired work is shed or culled.
+soak-deadline:
+	$(GO) test -race -count=1 -run 'TestSoakDeadlineOverload' -v ./internal/core/
+
+# Short-budget fuzzing of the binary decoders (state files, traces).
+# Seeds always run in plain `make test`; this target mutates beyond them.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzLoadState -fuzztime $(FUZZTIME) ./internal/core/
+	for f in $$($(GO) test -list 'Fuzz.*' ./internal/trace/ | grep '^Fuzz'); do \
+		$(GO) test -run '^$$' -fuzz $$f -fuzztime $(FUZZTIME) ./internal/trace/ || exit 1; \
+	done

@@ -279,6 +279,12 @@ var (
 	// ErrNoEligibleDevice reports that an exclusion set (failed or
 	// quarantined devices) left Select with no device to schedule on.
 	ErrNoEligibleDevice = core.ErrNoEligibleDevice
+	// ErrDeadlineInfeasible rejects, at admission, a request whose SLO
+	// is predicted unmeetable even on the best available device.
+	ErrDeadlineInfeasible = core.ErrDeadlineInfeasible
+	// ErrDeadlineExceeded resolves a request whose SLO passed before
+	// execution; the work was culled without spending device time.
+	ErrDeadlineExceeded = core.ErrDeadlineExceeded
 )
 
 // PlayTrace replays a trace's arrival process on the wall clock,

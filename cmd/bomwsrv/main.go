@@ -10,11 +10,21 @@
 //
 //	bomwsrv -addr :8080
 //	bomwsrv -addr :8080 -load sched.state -window 2ms -max-batch 64
+//	bomwsrv -addr :8080 -default-slo 50ms -hedge
 //
 //	curl -s localhost:8080/v1/devices
 //	curl -s localhost:8080/v1/pipeline
 //	curl -s -X POST localhost:8080/v1/classify \
 //	  -d '{"model":"simple","policy":"lowest-latency","samples":[[5.1,3.5,1.4,0.2]]}'
+//	curl -s -X POST localhost:8080/v1/classify \
+//	  -d '{"model":"simple","samples":[[5.1,3.5,1.4,0.2]],"timeout_ms":50}'
+//
+// Deadlines: a request's timeout_ms (or -default-slo when absent) is its
+// latency SLO. Admission control rejects requests predicted to miss it
+// (504, reason deadline_infeasible); admitted requests whose SLO passes
+// before execution are culled without touching a device (504, reason
+// deadline_exceeded); -hedge re-submits straggling batches to the
+// second-best device and takes the first result.
 //
 // Fault injection (failure-domain drills): -fault scripts deterministic
 // device faults on the virtual clock (wall time since start). The spec
@@ -57,6 +67,8 @@ func main() {
 	queueDepth := flag.Int("queue-depth", 256, "admission queue bound (requests)")
 	deviceDepth := flag.Int("device-queue-depth", 8, "per-device worker queue bound (batches)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget")
+	defaultSLO := flag.Duration("default-slo", 0, "latency SLO for requests without timeout_ms (0 disables; requests predicted to miss are rejected 504)")
+	hedge := flag.Bool("hedge", false, "re-submit straggling deadline-carrying batches to the second-best device (first result wins)")
 	faultSpec := flag.String("fault", "", "fault-injection spec, e.g. 'GTX 1080 Ti=err:0.05,outage:30s-45s' (see doc comment)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for fault-injection draws")
 	flag.Parse()
@@ -119,6 +131,8 @@ func main() {
 		MaxBatch:         *maxBatch,
 		QueueDepth:       *queueDepth,
 		DeviceQueueDepth: *deviceDepth,
+		DefaultSLO:       *defaultSLO,
+		Hedge:            *hedge,
 	})
 	srv := &http.Server{Addr: *addr, Handler: api}
 

@@ -210,12 +210,16 @@ func shadowRequest(dec Decision) shadowReq {
 }
 
 // shadowExpect returns the uncontended expected latency for a decision.
+// It reads through the memoised shadow-cost table (deadline.go): Observe
+// runs once per served batch, and rebuilding a shadow runtime per call
+// would dominate the pipeline's completion path.
 func (s *Scheduler) shadowExpect(dec Decision) (time.Duration, error) {
-	res, err := s.shadowEstimate(dec.Device, shadowRequest(dec))
+	req := shadowRequest(dec)
+	c, err := s.shadowCost(dec.Device, req.Model, req.Batch, req.At)
 	if err != nil {
 		return 0, err
 	}
-	return res.Latency(), nil
+	return c.latency, nil
 }
 
 // DeviceHealth reports the monitor's current slowdown estimate and

@@ -22,7 +22,12 @@ import (
 // (1) Admission: a bounded queue with load-shedding backpressure. When
 // the queue is full, Submit fails fast with ErrAdmissionFull instead of
 // letting latency collapse — the MLPerf "Server scenario" response to
-// overload. Every request carries a context for deadlines/cancellation.
+// overload. Every request carries a context for deadlines/cancellation,
+// and may carry a latency SLO (PipelineRequest.Deadline, with per-model
+// defaults in PipelineConfig): admission control rejects SLO-carrying
+// requests that are already predicted to miss their deadline given the
+// live queue state and the scheduler's latency model
+// (ErrDeadlineInfeasible), so overload sheds doomed work first.
 //
 // (2) Live batching: arriving requests aggregate per (model, policy)
 // under the offline Batcher's Window/MaxBatch semantics, but flushed by
@@ -31,16 +36,25 @@ import (
 // is idle a request dispatches immediately; batches only form while
 // earlier work is in flight, so batching cost is paid exactly when it
 // buys device efficiency (§IV-C: batch size is the decisive variable).
+// Requests whose context ended or whose deadline passed while
+// aggregating are culled here, before any device time is spent.
 //
 // (3) Per-device worker queues: one worker goroutine per device executes
-// batches in order. Queue occupancy is reported back into the
-// scheduler's spill logic (Config.MaxQueueDelay, §V overload
-// adaptation), so spilling reads *real* queued work instead of only the
-// device simulator's committed busy horizon.
+// batches in order, culling dead requests again at dequeue — a cancelled
+// or deadline-expired request never reaches the execute path. Queue
+// occupancy is reported back into the scheduler's spill logic
+// (Config.MaxQueueDelay, §V overload adaptation), so spilling reads
+// *real* queued work instead of only the device simulator's committed
+// busy horizon. Deadline-carrying batches are routed through
+// SelectWithDeadline so the device pick honours the tightest SLO in the
+// batch, and an optional hedge (PipelineConfig.Hedge) re-submits a
+// straggling batch to the second-best device when half its slack is
+// spent, taking whichever result lands first.
 //
 // (4) Completion: results are delivered through per-request futures;
 // aggregated batches are split back into per-request class slices with
-// proportional energy accounting.
+// proportional energy accounting. Every future resolves exactly once,
+// even when hedged executions race the primary.
 type Pipeline struct {
 	sched *Scheduler
 	cfg   PipelineConfig
@@ -63,18 +77,23 @@ type Pipeline struct {
 	inflight atomic.Int64   // batches queued or executing
 	workers  sync.WaitGroup // device workers + recovery prober still running
 
-	submitted atomic.Int64
-	shed      atomic.Int64
-	cancelled atomic.Int64
-	completed atomic.Int64
-	batches   atomic.Int64
-	sizeFl    atomic.Int64
-	windowFl  atomic.Int64
-	idleFl    atomic.Int64
-	drainFl   atomic.Int64
-	retries   atomic.Int64
-	failovers atomic.Int64
-	execFails atomic.Int64
+	submitted  atomic.Int64
+	shed       atomic.Int64
+	infeasible atomic.Int64
+	cancelled  atomic.Int64
+	expired    atomic.Int64
+	failed     atomic.Int64
+	completed  atomic.Int64
+	batches    atomic.Int64
+	sizeFl     atomic.Int64
+	windowFl   atomic.Int64
+	idleFl     atomic.Int64
+	drainFl    atomic.Int64
+	retries    atomic.Int64
+	failovers  atomic.Int64
+	execFails  atomic.Int64
+	hedges     atomic.Int64
+	hedgeWins  atomic.Int64
 
 	// testExecHook, when set, runs in each device worker before a batch
 	// executes — tests use it to hold workers and fill queues
@@ -121,6 +140,24 @@ type PipelineConfig struct {
 	// success). Defaults to 50 ms; negative disables the prober —
 	// Scheduler.ProbeQuarantined can still be called manually.
 	ProbeInterval time.Duration
+	// DefaultSLO is the latency budget applied to requests that carry no
+	// Deadline of their own (measured from admission on the pipeline
+	// clock). Zero disables the default: such requests have no SLO.
+	DefaultSLO time.Duration
+	// ModelSLO overrides DefaultSLO per model name.
+	ModelSLO map[string]time.Duration
+	// DisableAdmissionControl turns off predicted-miss rejection: every
+	// SLO-carrying request is admitted regardless of feasibility and
+	// only culled once its deadline actually passes. Default off
+	// (admission control active).
+	DisableAdmissionControl bool
+	// Hedge enables deadline hedging: when half an SLO-carrying batch's
+	// slack has elapsed and it has not completed, the batch is
+	// re-executed on the second-best device and the first result wins
+	// (the "hedged requests" tail-tolerance pattern). The loser is
+	// discarded; if the primary never started, it skips execution
+	// entirely. Default off.
+	Hedge bool
 }
 
 func (c *PipelineConfig) fillDefaults() {
@@ -159,6 +196,15 @@ var (
 	ErrAdmissionFull = errors.New("core: pipeline admission queue full")
 	// ErrPipelineClosed is returned by Submit after Close.
 	ErrPipelineClosed = errors.New("core: pipeline closed")
+	// ErrDeadlineInfeasible is returned by Submit when admission control
+	// predicts that no device can complete the request within its SLO
+	// given current queue state — the request is rejected before it
+	// queues (HTTP servers translate it to 504 deadline_infeasible).
+	ErrDeadlineInfeasible = errors.New("core: deadline infeasible at admission")
+	// ErrDeadlineExceeded resolves the future of an admitted request
+	// whose SLO expired before (or while) it could be executed; the
+	// request is culled without spending device time.
+	ErrDeadlineExceeded = errors.New("core: request deadline exceeded")
 )
 
 // PipelineRequest is one classification job entering the pipeline.
@@ -170,6 +216,11 @@ type PipelineRequest struct {
 	// fast path replays and benchmarks use.
 	Input *tensor.Tensor
 	Batch int
+	// Deadline is the request's latency SLO, measured from admission on
+	// the pipeline clock. Zero falls back to the pipeline's per-model /
+	// default SLO (PipelineConfig.ModelSLO / DefaultSLO); negative
+	// explicitly opts out of any SLO.
+	Deadline time.Duration
 }
 
 // Completion is the resolved outcome of one pipelined request.
@@ -191,8 +242,11 @@ type Completion struct {
 	Completed time.Duration
 	// EnergyJ is this request's proportional share of the batch energy.
 	EnergyJ float64
-	// Err is non-nil when the request failed (cancelled, execution
-	// error); all other fields may be zero then.
+	// Hedged reports that a hedged execution on a backup device
+	// produced this result, not the primary pick.
+	Hedged bool
+	// Err is non-nil when the request failed (cancelled, expired,
+	// execution error); all other fields may be zero then.
 	Err error
 }
 
@@ -202,8 +256,11 @@ type Future struct {
 }
 
 // Wait blocks until the request completes or ctx is done. A ctx error
-// abandons the wait but does not recall work already queued — the batch
-// still executes and charges its devices.
+// abandons the wait but does not recall work already queued — the
+// pipeline culls the request at the next stage boundary and resolves
+// the future with the context error; a Wait with a fresh context still
+// observes that completion (delivery is never lost to an abandoned
+// wait).
 func (f *Future) Wait(ctx context.Context) (Completion, error) {
 	select {
 	case c := <-f.ch:
@@ -214,11 +271,22 @@ func (f *Future) Wait(ctx context.Context) (Completion, error) {
 }
 
 // PipelineStats snapshots pipeline activity.
+//
+// Accounting identities (after Close has drained the pipeline):
+//
+//	submit attempts = Submitted + Shed + Infeasible (+ validation errors)
+//	Submitted = Completed = ok + Failed + Cancelled + Expired
+//
+// where ok is Completed minus the three error buckets — every admitted
+// request resolves into exactly one of the four outcomes.
 type PipelineStats struct {
-	Submitted int64 // requests accepted into admission
-	Shed      int64 // requests rejected with ErrAdmissionFull
-	Cancelled int64 // requests whose context ended before dispatch
-	Completed int64 // futures resolved (including failures)
+	Submitted  int64 // requests accepted into admission
+	Shed       int64 // requests rejected with ErrAdmissionFull
+	Infeasible int64 // requests rejected with ErrDeadlineInfeasible (admission control)
+	Cancelled  int64 // admitted requests culled: context ended before execution
+	Expired    int64 // admitted requests culled: deadline passed before execution
+	Failed     int64 // admitted requests resolved with an execution error
+	Completed  int64 // futures resolved (including failures and culls)
 
 	Batches       int64 // aggregated batches dispatched
 	SizeFlushes   int64 // flushed by the MaxBatch trigger
@@ -230,17 +298,34 @@ type PipelineStats struct {
 	Failovers    int64 // batches completed on a device other than the one that failed them
 	ExecFailures int64 // batches that exhausted every attempt and failed their requests
 
+	HedgesLaunched int64 // hedged executions submitted to a backup device
+	HedgesWon      int64 // hedged executions that resolved at least one request first
+
 	InFlight int64          // batches queued or executing now
 	Depth    map[string]int // per-device batches queued or executing
 }
 
 // pipeReq is one admitted request moving through the stages.
 type pipeReq struct {
-	ctx  context.Context
-	req  PipelineRequest
-	at   time.Duration // virtual arrival
-	size int
-	fut  *Future
+	ctx      context.Context
+	req      PipelineRequest
+	at       time.Duration // virtual arrival
+	deadline time.Duration // absolute SLO expiry on the pipeline clock; 0 = none
+	size     int
+	fut      *Future
+	done     atomic.Bool // future resolved (guards exactly-once delivery)
+}
+
+// dead reports whether the request must be culled at virtual time now
+// and with which error: context cancellation wins over SLO expiry.
+func (r *pipeReq) dead(now time.Duration) error {
+	if err := r.ctx.Err(); err != nil {
+		return err
+	}
+	if r.deadline > 0 && now > r.deadline {
+		return ErrDeadlineExceeded
+	}
+	return nil
 }
 
 // aggKey identifies one live aggregate. Timing-only and real requests
@@ -265,53 +350,81 @@ type flushMsg struct {
 
 // batchWork is one flushed batch travelling to a device worker.
 type batchWork struct {
-	key     aggKey
-	reqs    []*pipeReq
-	size    int
-	flushAt time.Duration
-	dec     Decision
-	charge  time.Duration // occupancy charged to the device queue
+	key       aggKey
+	reqs      []*pipeReq
+	size      int
+	flushAt   time.Duration
+	deadline  time.Duration // tightest absolute deadline in the batch; 0 = none
+	dec       Decision
+	charge    time.Duration // virtual occupancy charged to the device queue
+	clkCharge time.Duration // clock occupancy charged to the device queue
+
+	hedgeReqs  []*pipeReq // snapshot for the hedge path (immutable)
+	hedgeTimer *time.Timer
 }
 
-// deviceQueue tracks one device worker's occupancy: queued batches plus
-// an EWMA-predicted amount of virtual work, which the scheduler's spill
-// logic reads through the queue probe.
+// deviceQueue tracks one device worker's occupancy in two currencies:
+// queued *virtual* work (EWMA of the simulator's per-sample latency —
+// what the scheduler's spill logic understands) and queued *clock* work
+// (EWMA of elapsed pipeline-clock time per sample, which also sees wall
+// stalls the simulator cannot: a wedged worker, host contention). The
+// probe reports the larger of the two, so both spilling and deadline
+// admission read the worst honest estimate.
 type deviceQueue struct {
 	name string
 	ch   chan *batchWork
 
-	mu        sync.Mutex
-	pending   time.Duration // estimated queued virtual work
-	perSample time.Duration // EWMA virtual latency per sample
-	depth     int           // batches queued or executing
+	mu           sync.Mutex
+	pending      time.Duration // estimated queued virtual work
+	perSample    time.Duration // EWMA virtual latency per sample
+	clkPending   time.Duration // estimated queued clock work
+	clkPerSample time.Duration // EWMA clock latency per sample
+	depth        int           // batches queued or executing
 }
 
-// charge books the estimated virtual work of a batch of n samples.
-func (dq *deviceQueue) chargeBatch(n int) time.Duration {
+// chargeBatch books the estimated virtual and clock work of a batch of
+// n samples.
+func (dq *deviceQueue) chargeBatch(n int) (virt, clk time.Duration) {
 	dq.mu.Lock()
 	defer dq.mu.Unlock()
-	c := dq.perSample * time.Duration(n)
-	dq.pending += c
+	virt = dq.perSample * time.Duration(n)
+	clk = dq.clkPerSample * time.Duration(n)
+	dq.pending += virt
+	dq.clkPending += clk
 	dq.depth++
-	return c
+	return virt, clk
 }
 
-// completeBatch releases a charge and folds the observed virtual latency
-// into the per-sample estimate.
-func (dq *deviceQueue) completeBatch(charge, observed time.Duration, n int) {
+// completeBatch releases the charges and folds the observed latencies
+// into the per-sample estimates.
+func (dq *deviceQueue) completeBatch(virtCharge, clkCharge, obsVirt, obsClk time.Duration, n int) {
 	dq.mu.Lock()
 	defer dq.mu.Unlock()
-	dq.pending -= charge
+	dq.pending -= virtCharge
 	if dq.pending < 0 {
 		dq.pending = 0
 	}
+	dq.clkPending -= clkCharge
+	if dq.clkPending < 0 {
+		dq.clkPending = 0
+	}
 	dq.depth--
-	if observed > 0 && n > 0 {
-		per := observed / time.Duration(n)
-		if dq.perSample == 0 {
-			dq.perSample = per
-		} else {
-			dq.perSample = (7*dq.perSample + per) / 8
+	if n > 0 {
+		if obsVirt > 0 {
+			per := obsVirt / time.Duration(n)
+			if dq.perSample == 0 {
+				dq.perSample = per
+			} else {
+				dq.perSample = (7*dq.perSample + per) / 8
+			}
+		}
+		if obsClk > 0 {
+			per := obsClk / time.Duration(n)
+			if dq.clkPerSample == 0 {
+				dq.clkPerSample = per
+			} else {
+				dq.clkPerSample = (7*dq.clkPerSample + per) / 8
+			}
 		}
 	}
 }
@@ -319,6 +432,9 @@ func (dq *deviceQueue) completeBatch(charge, observed time.Duration, n int) {
 func (dq *deviceQueue) occupancy() time.Duration {
 	dq.mu.Lock()
 	defer dq.mu.Unlock()
+	if dq.clkPending > dq.pending {
+		return dq.clkPending
+	}
 	return dq.pending
 }
 
@@ -380,9 +496,11 @@ func (p *Pipeline) prober() {
 	}
 }
 
-// probeQueue reports the estimated virtual delay queued ahead of new
-// work on a device — the scheduler adds it to the device's committed
-// busy horizon when deciding whether to spill.
+// probeQueue reports the estimated delay queued ahead of new work on a
+// device — the scheduler adds it to the device's committed busy horizon
+// when deciding whether to spill, and the deadline predictor
+// (FeasibleWithin / SelectWithDeadline) folds it into completion
+// estimates.
 func (p *Pipeline) probeQueue(device string) time.Duration {
 	if dq := p.queues[device]; dq != nil {
 		return dq.occupancy()
@@ -390,13 +508,37 @@ func (p *Pipeline) probeQueue(device string) time.Duration {
 	return 0
 }
 
+// slo resolves the effective SLO of a request: its own Deadline, else
+// the per-model default, else the pipeline default; negative opts out.
+func (p *Pipeline) slo(req PipelineRequest) time.Duration {
+	d := req.Deadline
+	if d == 0 {
+		if m, ok := p.cfg.ModelSLO[req.Model]; ok {
+			d = m
+		} else {
+			d = p.cfg.DefaultSLO
+		}
+	}
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
 // Submit admits one request. It never blocks: a full admission queue
-// sheds the request with ErrAdmissionFull, a closed pipeline returns
-// ErrPipelineClosed, and validation failures surface immediately. On
-// success the returned future resolves exactly once.
+// sheds the request with ErrAdmissionFull, a request predicted to miss
+// its SLO is rejected with ErrDeadlineInfeasible, a closed pipeline
+// returns ErrPipelineClosed, and validation failures (including an
+// already-cancelled context) surface immediately. On success the
+// returned future resolves exactly once.
 func (p *Pipeline) Submit(ctx context.Context, req PipelineRequest) (*Future, error) {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		// Admitting already-dead work would spend queue slots and
+		// potentially device time on a request nobody is waiting for.
+		return nil, err
 	}
 	size := req.Batch
 	if req.Input != nil {
@@ -425,6 +567,18 @@ func (p *Pipeline) Submit(ctx context.Context, req PipelineRequest) (*Future, er
 				req.Model, per, req.Input.Len(), size)
 		}
 	}
+	slo := p.slo(req)
+	if slo > 0 && !p.cfg.DisableAdmissionControl {
+		feasible, predicted, ferr := p.sched.FeasibleWithin(req.Model, size, slo, p.cfg.Clock())
+		if ferr != nil {
+			return nil, ferr
+		}
+		if !feasible {
+			p.infeasible.Add(1)
+			return nil, fmt.Errorf("%w: %s batch %d predicted %v against SLO %v",
+				ErrDeadlineInfeasible, req.Model, size, predicted, slo)
+		}
+	}
 
 	r := &pipeReq{ctx: ctx, req: req, size: size, fut: &Future{ch: make(chan Completion, 1)}}
 	p.closeMu.Lock()
@@ -433,6 +587,9 @@ func (p *Pipeline) Submit(ctx context.Context, req PipelineRequest) (*Future, er
 		return nil, ErrPipelineClosed
 	}
 	r.at = p.cfg.Clock()
+	if slo > 0 {
+		r.deadline = r.at + slo
+	}
 	select {
 	case p.admit <- r:
 		p.submitted.Add(1)
@@ -476,20 +633,25 @@ func (p *Pipeline) Close() {
 // Stats snapshots pipeline activity.
 func (p *Pipeline) Stats() PipelineStats {
 	st := PipelineStats{
-		Submitted:     p.submitted.Load(),
-		Shed:          p.shed.Load(),
-		Cancelled:     p.cancelled.Load(),
-		Completed:     p.completed.Load(),
-		Batches:       p.batches.Load(),
-		SizeFlushes:   p.sizeFl.Load(),
-		WindowFlushes: p.windowFl.Load(),
-		IdleFlushes:   p.idleFl.Load(),
-		DrainFlushes:  p.drainFl.Load(),
-		Retries:       p.retries.Load(),
-		Failovers:     p.failovers.Load(),
-		ExecFailures:  p.execFails.Load(),
-		InFlight:      p.inflight.Load(),
-		Depth:         map[string]int{},
+		Submitted:      p.submitted.Load(),
+		Shed:           p.shed.Load(),
+		Infeasible:     p.infeasible.Load(),
+		Cancelled:      p.cancelled.Load(),
+		Expired:        p.expired.Load(),
+		Failed:         p.failed.Load(),
+		Completed:      p.completed.Load(),
+		Batches:        p.batches.Load(),
+		SizeFlushes:    p.sizeFl.Load(),
+		WindowFlushes:  p.windowFl.Load(),
+		IdleFlushes:    p.idleFl.Load(),
+		DrainFlushes:   p.drainFl.Load(),
+		Retries:        p.retries.Load(),
+		Failovers:      p.failovers.Load(),
+		ExecFailures:   p.execFails.Load(),
+		HedgesLaunched: p.hedges.Load(),
+		HedgesWon:      p.hedgeWins.Load(),
+		InFlight:       p.inflight.Load(),
+		Depth:          map[string]int{},
 	}
 	for name, dq := range p.queues {
 		st.Depth[name] = dq.queued()
@@ -559,8 +721,7 @@ func (p *Pipeline) idle() bool {
 }
 
 func (p *Pipeline) ingest(r *pipeReq) {
-	if err := r.ctx.Err(); err != nil {
-		p.cancelled.Add(1)
+	if err := r.dead(p.cfg.Clock()); err != nil {
 		p.finish(r, Completion{Err: err})
 		return
 	}
@@ -593,6 +754,27 @@ func (p *Pipeline) ingest(r *pipeReq) {
 	}
 }
 
+// cullLive filters reqs down to the ones still worth executing at
+// virtual time now, resolving dead ones (context ended, deadline
+// passed) with their error and skipping requests another path already
+// resolved. The returned slice reuses reqs' backing array.
+func (p *Pipeline) cullLive(reqs []*pipeReq, now time.Duration) ([]*pipeReq, int) {
+	live := reqs[:0]
+	size := 0
+	for _, r := range reqs {
+		if r.done.Load() {
+			continue // a hedged execution already resolved it
+		}
+		if err := r.dead(now); err != nil {
+			p.finish(r, Completion{Err: err})
+			continue
+		}
+		live = append(live, r)
+		size += r.size
+	}
+	return live, size
+}
+
 // flushKey dispatches the aggregate identified by (key, gen). Stale
 // generations (already flushed, slot reused) are ignored. Reports
 // whether a batch was actually dispatched.
@@ -603,24 +785,37 @@ func (p *Pipeline) flushKey(key aggKey, gen uint64) bool {
 	}
 	delete(p.aggs, key)
 
-	// Drop requests whose context ended while aggregating.
-	live := agg.reqs[:0]
-	size := 0
-	for _, r := range agg.reqs {
-		if err := r.ctx.Err(); err != nil {
-			p.cancelled.Add(1)
-			p.finish(r, Completion{Err: err})
-			continue
-		}
-		live = append(live, r)
-		size += r.size
-	}
+	now := p.cfg.Clock()
+	// Cull requests that died while aggregating — before any device time.
+	live, size := p.cullLive(agg.reqs, now)
 	if len(live) == 0 {
 		return false
 	}
 
-	now := p.cfg.Clock()
-	dec, err := p.sched.Select(key.model, size, key.pol, now)
+	// The tightest SLO in the batch drives the device pick: a
+	// deadline-carrying batch routes through SelectWithDeadline so the
+	// choice honours the SLO; unconstrained batches use the policy
+	// classifier as before.
+	var minDL time.Duration
+	for _, r := range live {
+		if r.deadline > 0 && (minDL == 0 || r.deadline < minDL) {
+			minDL = r.deadline
+		}
+	}
+	var dec Decision
+	var err error
+	if minDL > 0 {
+		slack := minDL - now
+		if slack <= 0 {
+			slack = time.Nanosecond // culled above, so only a clock-edge race lands here
+		}
+		var dd DeadlineDecision
+		dd, err = p.sched.SelectWithDeadline(key.model, size, slack, now)
+		dec = dd.Decision
+		dec.Policy = key.pol
+	} else {
+		dec, err = p.sched.Select(key.model, size, key.pol, now)
+	}
 	if err != nil {
 		for _, r := range live {
 			p.finish(r, Completion{Err: err})
@@ -636,12 +831,20 @@ func (p *Pipeline) flushKey(key aggKey, gen uint64) bool {
 		return false
 	}
 	work := &batchWork{
-		key:     key,
-		reqs:    live,
-		size:    size,
-		flushAt: now,
-		dec:     dec,
-		charge:  dq.chargeBatch(size),
+		key:      key,
+		reqs:     live,
+		size:     size,
+		flushAt:  now,
+		deadline: minDL,
+		dec:      dec,
+	}
+	work.charge, work.clkCharge = dq.chargeBatch(size)
+	if p.cfg.Hedge && minDL > 0 {
+		// Snapshot the request list: the worker compacts work.reqs in
+		// place while the hedge goroutine reads its own copy.
+		work.hedgeReqs = append([]*pipeReq(nil), live...)
+		slack := minDL - now
+		work.hedgeTimer = time.AfterFunc(slack/2, func() { p.hedge(work) })
 	}
 	p.inflight.Add(1)
 	p.batches.Add(1)
@@ -660,25 +863,42 @@ func (p *Pipeline) worker(dq *deviceQueue) {
 	}
 }
 
+// batchDone retires one in-flight batch, waking the batcher when the
+// system went idle.
+func (p *Pipeline) batchDone() {
+	if p.inflight.Add(-1) == 0 {
+		select { // wake the batcher: nothing left to amortise against
+		case p.nudge <- struct{}{}:
+		default:
+		}
+	}
+}
+
+func (p *Pipeline) stopHedge(w *batchWork) {
+	if w.hedgeTimer != nil {
+		w.hedgeTimer.Stop()
+	}
+}
+
 // executeAttempt runs one batch attempt on the device dec names,
-// releasing the attempt's queue charge (dq may be nil when the failover
-// device has no queue) and folding the observed latency into the queue's
-// per-sample estimate on success.
-func (p *Pipeline) executeAttempt(dq *deviceQueue, w *batchWork, dec Decision, charge time.Duration) (*opencl.Result, error) {
+// releasing the attempt's queue charges (dq may be nil when the failover
+// device has no queue) and folding the observed virtual and clock
+// latencies into the queue's per-sample estimates.
+func (p *Pipeline) executeAttempt(dq *deviceQueue, key aggKey, reqs []*pipeReq, size int, dec Decision, virtCharge, clkCharge, clkStart time.Duration) (*opencl.Result, error) {
 	now := p.cfg.Clock()
 	var res *opencl.Result
 	var err error
-	if w.key.estimate {
-		res, err = p.sched.rt.Estimate(dec.Device, w.key.model, w.size, now)
+	if key.estimate {
+		res, err = p.sched.rt.Estimate(dec.Device, key.model, size, now)
 	} else {
-		res, err = p.sched.rt.Classify(dec.Device, w.key.model, concatInputs(w.reqs, w.size), now)
+		res, err = p.sched.rt.Classify(dec.Device, key.model, concatInputs(reqs, size), now)
 	}
 	var observed time.Duration
 	if err == nil {
 		observed = res.Latency()
 	}
 	if dq != nil {
-		dq.completeBatch(charge, observed, w.size)
+		dq.completeBatch(virtCharge, clkCharge, observed, p.cfg.Clock()-clkStart, size)
 	}
 	return res, err
 }
@@ -691,12 +911,28 @@ func (p *Pipeline) executeAttempt(dq *deviceQueue, w *batchWork, dec Decision, c
 // never re-enqueue onto another worker's channel, which keeps the drain
 // path deadlock-free; the runtime's per-device submit lock serialises
 // the cross-device execution with that device's own worker.
+//
+// Before every attempt — the first and each retry — dead requests are
+// culled: a cancelled or deadline-expired request never reaches the
+// execute path, and in particular is never retried on a second device
+// after its SLO has passed.
 func (p *Pipeline) runBatch(dq *deviceQueue, w *batchWork) {
+	clkStart := p.cfg.Clock()
 	if p.testExecHook != nil {
 		p.testExecHook(dq.name)
 	}
+	live, size := p.cullLive(w.reqs, p.cfg.Clock())
+	if size == 0 {
+		// Everything died (or a hedge won) while queued: release the
+		// charge without spending device time — the "cancelled loser"
+		// path of a hedge that fired before the primary started.
+		dq.completeBatch(w.charge, w.clkCharge, 0, 0, 0)
+		p.stopHedge(w)
+		p.batchDone()
+		return
+	}
 	dec := w.dec
-	res, err := p.executeAttempt(dq, w, dec, w.charge)
+	res, err := p.executeAttempt(dq, w.key, live, size, dec, w.charge, w.clkCharge, clkStart)
 	if err != nil {
 		excluded := map[string]bool{dec.Device: true}
 		p.sched.ReportExecution(dec.Device, err)
@@ -704,17 +940,23 @@ func (p *Pipeline) runBatch(dq *deviceQueue, w *batchWork) {
 			if p.cfg.RetryBackoff > 0 {
 				time.Sleep(p.cfg.RetryBackoff << (attempt - 1))
 			}
-			next, serr := p.sched.SelectExcluding(w.key.model, w.size, w.key.pol, p.cfg.Clock(), excluded)
+			// Deadlines keep ticking through failures and backoff; an
+			// expired request must not fail over to another device.
+			live, size = p.cullLive(live, p.cfg.Clock())
+			if size == 0 {
+				break
+			}
+			next, serr := p.sched.SelectExcluding(w.key.model, size, w.key.pol, p.cfg.Clock(), excluded)
 			if serr != nil {
 				break // nowhere left to fail over to
 			}
 			p.retries.Add(1)
 			rq := p.queues[next.Device]
-			var charge time.Duration
+			var charge, clkCharge time.Duration
 			if rq != nil {
-				charge = rq.chargeBatch(w.size)
+				charge, clkCharge = rq.chargeBatch(size)
 			}
-			res, err = p.executeAttempt(rq, w, next, charge)
+			res, err = p.executeAttempt(rq, w.key, live, size, next, charge, clkCharge, p.cfg.Clock())
 			p.sched.ReportExecution(next.Device, err)
 			if err != nil {
 				excluded[next.Device] = true
@@ -726,40 +968,102 @@ func (p *Pipeline) runBatch(dq *deviceQueue, w *batchWork) {
 	} else {
 		p.sched.ReportExecution(dec.Device, nil)
 	}
+	p.stopHedge(w)
+	if size == 0 {
+		// Every surviving request expired or was cancelled during the
+		// retry loop; their futures are already resolved.
+		p.batchDone()
+		return
+	}
 	if err == nil {
 		_ = p.sched.Observe(dec, res)
 	}
-	if p.inflight.Add(-1) == 0 {
-		select { // wake the batcher: nothing left to amortise against
-		case p.nudge <- struct{}{}:
-		default:
-		}
-	}
+	p.batchDone()
 	if err != nil {
 		p.execFails.Add(1)
-		for _, r := range w.reqs {
+		for _, r := range live {
 			p.finish(r, Completion{Decision: dec, Err: err})
 		}
 		return
 	}
+	p.deliver(live, size, w.flushAt, dec, res, false)
+}
 
-	// Stage 4: completion — split the batch back into requests.
+// hedge re-executes a straggling deadline-carrying batch on the
+// second-best device — the tail-tolerance "hedged requests" pattern:
+// armed at flush time to fire once half the batch's slack has elapsed,
+// it races the primary execution and whichever result lands first
+// resolves the futures (per-request exactly-once delivery arbitrates).
+// If the primary had not started yet, it finds every request resolved
+// at dequeue and skips execution entirely — the hedge effectively
+// cancelled it.
+func (p *Pipeline) hedge(w *batchWork) {
+	select {
+	case <-p.closing:
+		return // the drain path resolves everything; don't race shutdown
+	default:
+	}
+	now := p.cfg.Clock()
+	var reqs []*pipeReq
+	size := 0
+	for _, r := range w.hedgeReqs {
+		if r.done.Load() || r.dead(now) != nil {
+			continue // resolved, cancelled or expired: not worth hedging
+		}
+		reqs = append(reqs, r)
+		size += r.size
+	}
+	if size == 0 {
+		return
+	}
+	next, err := p.sched.SelectExcluding(w.key.model, size, w.key.pol, now, map[string]bool{w.dec.Device: true})
+	if err != nil {
+		return // single-device system or everything excluded: no backup
+	}
+	p.hedges.Add(1)
+	rq := p.queues[next.Device]
+	var charge, clkCharge time.Duration
+	if rq != nil {
+		charge, clkCharge = rq.chargeBatch(size)
+	}
+	res, err := p.executeAttempt(rq, w.key, reqs, size, next, charge, clkCharge, now)
+	p.sched.ReportExecution(next.Device, err)
+	if err != nil {
+		return // the primary attempt still owns the batch
+	}
+	next.Policy = w.key.pol
+	if n := p.deliver(reqs, size, w.flushAt, next, res, true); n > 0 {
+		p.hedgeWins.Add(1)
+		_ = p.sched.Observe(next, res)
+	}
+}
+
+// deliver splits a batch result back into per-request completions
+// (stage 4), reporting how many futures this call actually resolved —
+// racing hedged and primary executions each call deliver, and the
+// per-request done flag lets exactly one win each future.
+func (p *Pipeline) deliver(reqs []*pipeReq, size int, flushAt time.Duration, dec Decision, res *opencl.Result, hedged bool) int {
+	resolved := 0
 	off := 0
-	for _, r := range w.reqs {
+	for _, r := range reqs {
 		c := Completion{
 			Decision:  dec,
-			BatchSize: w.size,
-			Wait:      w.flushAt - r.at,
+			BatchSize: size,
+			Wait:      flushAt - r.at,
 			Latency:   res.Completed - r.at,
 			Completed: res.Completed,
-			EnergyJ:   res.EnergyJ * float64(r.size) / float64(w.size),
+			EnergyJ:   res.EnergyJ * float64(r.size) / float64(size),
+			Hedged:    hedged,
 		}
 		if res.Classes != nil {
 			c.Classes = append([]int(nil), res.Classes[off:off+r.size]...)
 		}
 		off += r.size
-		p.finish(r, c)
+		if p.finish(r, c) {
+			resolved++
+		}
 	}
+	return resolved
 }
 
 // concatInputs stacks the requests' input tensors along dim 0. Shapes
@@ -776,9 +1080,26 @@ func concatInputs(reqs []*pipeReq, size int) *tensor.Tensor {
 	return tensor.FromSlice(flat, shape...)
 }
 
-func (p *Pipeline) finish(r *pipeReq, c Completion) {
-	r.fut.ch <- c // buffered(1); each request finishes exactly once
+// finish resolves one request's future exactly once, classifying the
+// outcome into the stats buckets (ok / Failed / Cancelled / Expired).
+// Reports whether this call won the resolution; a loser's completion is
+// discarded.
+func (p *Pipeline) finish(r *pipeReq, c Completion) bool {
+	if !r.done.CompareAndSwap(false, true) {
+		return false
+	}
+	switch {
+	case c.Err == nil:
+	case errors.Is(c.Err, ErrDeadlineExceeded):
+		p.expired.Add(1)
+	case errors.Is(c.Err, context.Canceled), errors.Is(c.Err, context.DeadlineExceeded):
+		p.cancelled.Add(1)
+	default:
+		p.failed.Add(1)
+	}
+	r.fut.ch <- c // buffered(1); the CAS above makes delivery exactly-once
 	p.completed.Add(1)
+	return true
 }
 
 // ---- driving the pipeline from trace generators ------------------------
@@ -788,8 +1109,10 @@ func (p *Pipeline) finish(r *pipeReq, c Completion) {
 // 10 s trace in 0.1 s) and waiting for every completion. Requests are
 // timing-only (the Estimate path), matching Scheduler.Replay, but unlike
 // Replay they flow through admission, live batching and the device
-// queues — requests shed at admission are counted in Dropped. Devices
-// are not reset: Play observes the system as it is, like live traffic.
+// queues — requests shed at admission (queue full or SLO infeasible)
+// are counted in Dropped, and admitted requests culled for a passed
+// deadline are counted in Expired. Devices are not reset: Play observes
+// the system as it is, like live traffic.
 func (p *Pipeline) Play(ctx context.Context, tr trace.Trace, pol Policy, speedup float64) (ReplayResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -804,7 +1127,7 @@ func (p *Pipeline) Play(ctx context.Context, tr trace.Trace, pol Policy, speedup
 	var submitErr error
 	for req := range arrivals {
 		fut, err := p.Submit(ctx, PipelineRequest{Model: req.Model, Policy: pol, Batch: req.Batch})
-		if errors.Is(err, ErrAdmissionFull) {
+		if errors.Is(err, ErrAdmissionFull) || errors.Is(err, ErrDeadlineInfeasible) {
 			res.Dropped++
 			continue
 		}
@@ -826,6 +1149,10 @@ func (p *Pipeline) Play(ctx context.Context, tr trace.Trace, pol Policy, speedup
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil || c.Err != nil {
+				if c.Err != nil && errors.Is(c.Err, ErrDeadlineExceeded) {
+					res.Expired++
+					return
+				}
 				if firstErr == nil {
 					firstErr = err
 					if firstErr == nil {

@@ -22,7 +22,11 @@ type ReplayResult struct {
 	Spills       int
 	// Dropped counts requests shed at admission — only live pipeline
 	// replays (Pipeline.Play) populate it; offline replays admit all.
-	Dropped   int
+	Dropped int
+	// Expired counts admitted requests culled because their SLO passed
+	// before execution — only Pipeline.Play under a configured
+	// DefaultSLO/ModelSLO populates it.
+	Expired   int
 	latencies []time.Duration
 }
 

@@ -134,6 +134,11 @@ type Scheduler struct {
 	mu         sync.Mutex
 	stats      Stats
 	queueProbe func(device string) time.Duration
+
+	// shadowMu guards the memoised shadow-cost table deadline prediction
+	// and health observation share (see shadowCost in deadline.go).
+	shadowMu    sync.Mutex
+	shadowCache map[shadowKey]shadowCost
 }
 
 // New characterises the devices over the training models, trains one

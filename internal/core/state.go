@@ -18,6 +18,11 @@ import (
 
 const stateMagic = uint32(0x424D5353) // "BMSS"
 
+// maxForestBlob bounds one serialised classifier section. Real forests
+// (20 trees, depth ≤ 10) serialise to a few hundred KB; anything near
+// this cap is corrupt or hostile.
+const maxForestBlob = 64 << 20
+
 // SaveState serialises the trained per-policy classifiers. Only forest
 // classifiers are serialisable; schedulers built with custom classifier
 // factories return an error.
@@ -96,18 +101,34 @@ func LoadState(cfg Config, r io.Reader) (*Scheduler, error) {
 		if err := binary.Read(r, binary.LittleEndian, &polRaw); err != nil {
 			return nil, fmt.Errorf("core: reading policy tag: %w", err)
 		}
+		valid := false
+		for _, pol := range characterize.Objectives() {
+			if Policy(polRaw) == pol {
+				valid = true
+				break
+			}
+		}
+		if !valid {
+			return nil, fmt.Errorf("core: unknown policy tag %d in saved state", polRaw)
+		}
+		if _, dup := s.classifiers[Policy(polRaw)]; dup {
+			return nil, fmt.Errorf("core: duplicate %v classifier in saved state", Policy(polRaw))
+		}
 		var blobLen uint64
 		if err := binary.Read(r, binary.LittleEndian, &blobLen); err != nil {
 			return nil, fmt.Errorf("core: reading forest length: %w", err)
 		}
-		if blobLen > 1<<30 {
+		if blobLen > maxForestBlob {
 			return nil, fmt.Errorf("core: implausible forest blob of %d bytes", blobLen)
 		}
-		blob := make([]byte, blobLen)
-		if _, err := io.ReadFull(r, blob); err != nil {
-			return nil, fmt.Errorf("core: reading forest blob: %w", err)
+		// Copy incrementally instead of pre-allocating blobLen: a hostile
+		// header claiming a huge length backed by a tiny file must fail
+		// with an allocation proportional to the bytes actually present.
+		var blob bytes.Buffer
+		if n, err := io.CopyN(&blob, r, int64(blobLen)); err != nil {
+			return nil, fmt.Errorf("core: reading forest blob: got %d of %d bytes: %w", n, blobLen, err)
 		}
-		forest, err := mlsched.ReadForest(bytes.NewReader(blob))
+		forest, err := mlsched.ReadForest(bytes.NewReader(blob.Bytes()))
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"bomw/internal/characterize"
+	"bomw/internal/mlsched"
+)
+
+// fuzzStateSeed handcrafts a valid serialised state around one tiny
+// trained forest — the structurally-correct starting point the fuzzer
+// mutates from. Built directly (not via a trained Scheduler) so every
+// fuzz worker process starts in milliseconds, not characterisation time.
+func fuzzStateSeed(f *testing.F) []byte {
+	f.Helper()
+	forest := mlsched.NewForest(mlsched.ForestConfig{NEstimators: 2, MaxDepth: 3, Seed: 1})
+	X := [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}, {2, 0}, {2, 1}}
+	y := []int{0, 0, 1, 1, 2, 2}
+	if err := forest.Fit(X, y); err != nil {
+		f.Fatal(err)
+	}
+	var blob bytes.Buffer
+	if err := forest.Serialize(&blob); err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	pols := characterize.Objectives()
+	binary.Write(&buf, binary.LittleEndian, stateMagic)
+	binary.Write(&buf, binary.LittleEndian, uint32(len(pols)))
+	for _, pol := range pols {
+		binary.Write(&buf, binary.LittleEndian, uint32(pol))
+		binary.Write(&buf, binary.LittleEndian, uint64(blob.Len()))
+		buf.Write(blob.Bytes())
+	}
+	return buf.Bytes()
+}
+
+// FuzzLoadState hammers the binary state decoder with corrupt, truncated
+// and hostile inputs: LoadState must either succeed or return an error —
+// never panic, and never allocate proportionally to a length claimed by
+// a hostile header rather than to the bytes actually present.
+func FuzzLoadState(f *testing.F) {
+	valid := fuzzStateSeed(f)
+	f.Add(valid)
+	// Truncations at every structural boundary: mid-magic, after magic,
+	// after count, mid-policy-tag, mid-length, mid-blob.
+	for _, n := range []int{0, 2, 4, 8, 10, 12, 16, 20, len(valid) / 2, len(valid) - 1} {
+		if n <= len(valid) {
+			f.Add(valid[:n])
+		}
+	}
+	// Wrong magic.
+	f.Add([]byte{0xde, 0xad, 0xbe, 0xef, 1, 0, 0, 0})
+	// Valid magic, implausible policy count.
+	var huge bytes.Buffer
+	binary.Write(&huge, binary.LittleEndian, stateMagic)
+	binary.Write(&huge, binary.LittleEndian, uint32(0xffffffff))
+	f.Add(huge.Bytes())
+	// Valid magic and count, then a blob-length claim of 1 GiB backed by
+	// nothing — the over-allocation trap.
+	var lie bytes.Buffer
+	binary.Write(&lie, binary.LittleEndian, stateMagic)
+	binary.Write(&lie, binary.LittleEndian, uint32(1))
+	binary.Write(&lie, binary.LittleEndian, uint32(0)) // policy tag
+	binary.Write(&lie, binary.LittleEndian, uint64(1<<30))
+	f.Add(lie.Bytes())
+	// A blob-length claim just under the cap backed by garbage.
+	var nearCap bytes.Buffer
+	binary.Write(&nearCap, binary.LittleEndian, stateMagic)
+	binary.Write(&nearCap, binary.LittleEndian, uint32(1))
+	binary.Write(&nearCap, binary.LittleEndian, uint32(0))
+	binary.Write(&nearCap, binary.LittleEndian, uint64(maxForestBlob-1))
+	nearCap.Write(bytes.Repeat([]byte{0x42}, 256))
+	f.Add(nearCap.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := LoadState(Config{}, bytes.NewReader(data))
+		if err != nil {
+			return // rejected: the only acceptable failure mode
+		}
+		// Accepted states must actually be usable.
+		if s == nil {
+			t.Fatal("LoadState returned nil scheduler without error")
+		}
+		if len(s.classifiers) == 0 {
+			t.Fatal("LoadState accepted a state with no classifiers")
+		}
+	})
+}

@@ -1,0 +1,135 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"bomw/internal/core"
+	"bomw/internal/models"
+)
+
+// newDeadlineServer builds a private server (its own scheduler and
+// pipeline) so deadline configs don't leak into the shared testServer.
+func newDeadlineServer(t *testing.T, cfg core.PipelineConfig) (*Server, *httptest.Server) {
+	t.Helper()
+	sched, err := core.New(core.Config{
+		TrainModels: models.PaperModels(),
+		Batches:     []int{8, 512, 8192, 65536},
+		Reps:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.LoadModel(models.Simple(), 1); err != nil {
+		t.Fatal(err)
+	}
+	s := NewWithConfig(sched, 1, cfg)
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func classifyBody(timeoutMS int) ClassifyRequest {
+	return ClassifyRequest{
+		Model:     "simple",
+		Samples:   [][]float32{{0.1, 0.2, 0.3, 0.4}},
+		TimeoutMS: timeoutMS,
+	}
+}
+
+// TestClassifyDeadlineInfeasible: with an impossible default SLO,
+// requests that ride the default are rejected 504 with the
+// deadline_infeasible reason, while an explicit generous timeout_ms or
+// an explicit opt-out still succeeds — and the counters surface on
+// /v1/pipeline and /v1/stats.
+func TestClassifyDeadlineInfeasible(t *testing.T) {
+	_, ts := newDeadlineServer(t, core.PipelineConfig{
+		ProbeInterval: -1,
+		DefaultSLO:    time.Nanosecond,
+	})
+
+	resp := post(t, ts.URL+"/v1/classify", classifyBody(0)) // rides the 1ns default
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", resp.StatusCode)
+	}
+	var e map[string]string
+	decode(t, resp, &e)
+	if e["reason"] != "deadline_infeasible" {
+		t.Fatalf("reason %q, want deadline_infeasible (%v)", e["reason"], e)
+	}
+
+	resp = post(t, ts.URL+"/v1/classify", classifyBody(60_000)) // explicit 60s SLO
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("generous timeout_ms: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp = post(t, ts.URL+"/v1/classify", classifyBody(-1)) // explicit opt-out
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("timeout_ms opt-out: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	hr, err := http.Get(ts.URL + "/v1/pipeline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pst map[string]interface{}
+	decode(t, hr, &pst)
+	if got := pst["infeasible"].(float64); got != 1 {
+		t.Fatalf("/v1/pipeline infeasible = %v, want 1", got)
+	}
+	hr, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sst struct {
+		SLO map[string]int64 `json:"slo"`
+	}
+	decode(t, hr, &sst)
+	if sst.SLO["infeasible"] != 1 {
+		t.Fatalf("/v1/stats slo = %+v, want infeasible 1", sst.SLO)
+	}
+}
+
+// TestClassifyDeadlineExceeded: an admitted request whose SLO passes
+// while it aggregates (the batching window outlasts the deadline) is
+// culled and answered 504 with the deadline_exceeded reason — distinct
+// from the infeasible rejection.
+func TestClassifyDeadlineExceeded(t *testing.T) {
+	_, ts := newDeadlineServer(t, core.PipelineConfig{
+		ProbeInterval: -1,
+		// Admission predicts execution cost only, so a 50 ms SLO is
+		// admitted — but the held batching window (200 ms) outlives it.
+		Window:     200 * time.Millisecond,
+		HoldWindow: true,
+		MaxBatch:   1024,
+	})
+
+	resp := post(t, ts.URL+"/v1/classify", classifyBody(50))
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", resp.StatusCode)
+	}
+	var e map[string]string
+	decode(t, resp, &e)
+	if e["reason"] != "deadline_exceeded" {
+		t.Fatalf("reason %q, want deadline_exceeded (%v)", e["reason"], e)
+	}
+
+	hr, err := http.Get(ts.URL + "/v1/pipeline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pst map[string]interface{}
+	decode(t, hr, &pst)
+	if got := pst["expired"].(float64); got != 1 {
+		t.Fatalf("/v1/pipeline expired = %v, want 1", got)
+	}
+	if got := pst["submitted"].(float64); got != 1 {
+		t.Fatalf("/v1/pipeline submitted = %v, want 1 (the culled request was admitted)", got)
+	}
+}

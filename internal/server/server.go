@@ -8,7 +8,7 @@
 //
 // Endpoints:
 //
-//	POST /v1/classify   {"model","policy","samples":[[...]]}
+//	POST /v1/classify   {"model","policy","samples":[[...]],"timeout_ms":50}
 //	POST /v1/models     {"name","kind","input_shape",...}  (load a model)
 //	GET  /v1/models     list loaded models
 //	GET  /v1/devices    device names, kinds and probe state
@@ -19,9 +19,13 @@
 // (admission → live batching → per-device worker queues): concurrent
 // clients posting the same model aggregate into one device batch, a full
 // admission queue sheds load with 503, and the request's context bounds
-// its time in the system. Virtual time is mapped to wall-clock time
-// since the server started, so the GPU warms and cools as real seconds
-// pass.
+// its time in the system. A request may carry a latency SLO
+// ("timeout_ms"): admission rejects it with 504/"deadline_infeasible"
+// when no device is predicted to make the deadline, and an admitted
+// request whose deadline passes before execution is culled and answered
+// 504/"deadline_exceeded" — doomed work never reaches a device. Virtual
+// time is mapped to wall-clock time since the server started, so the GPU
+// warms and cools as real seconds pass.
 package server
 
 import (
@@ -93,6 +97,19 @@ func httpError(w http.ResponseWriter, code int, format string, args ...interface
 	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// httpErrorReason is httpError plus a machine-readable "reason" field —
+// clients distinguishing deadline_infeasible (never admitted, retrying
+// is pointless until load drops) from deadline_exceeded (admitted but
+// culled) key off it rather than parsing the message.
+func httpErrorReason(w http.ResponseWriter, code int, reason, format string, args ...interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{
+		"error":  fmt.Sprintf(format, args...),
+		"reason": reason,
+	})
+}
+
 func writeJSON(w http.ResponseWriter, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(v)
@@ -105,6 +122,12 @@ type ClassifyRequest struct {
 	Model   string      `json:"model"`
 	Policy  string      `json:"policy"` // best-throughput | lowest-latency | energy-efficiency
 	Samples [][]float32 `json:"samples"`
+	// TimeoutMS is the request's latency SLO in milliseconds, measured
+	// from admission. Positive values enable deadline enforcement
+	// (admission-control rejection, pre-execution culling, optional
+	// hedging); 0 uses the server's per-model/default SLO; negative
+	// opts out of any SLO.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
 }
 
 // ClassifyResponse is the POST /v1/classify reply.
@@ -122,6 +145,9 @@ type ClassifyResponse struct {
 	BatchSize int `json:"batch_size"`
 	// WaitUS is the aggregation delay the request paid before dispatch.
 	WaitUS int64 `json:"wait_us"`
+	// Hedged reports the result came from a hedged execution on a backup
+	// device rather than the primary pick.
+	Hedged bool `json:"hedged,omitempty"`
 }
 
 func parsePolicy(s string) (core.Policy, error) {
@@ -178,12 +204,21 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	in := tensor.FromSlice(flat, shape...)
 
 	// Hand the request to the serving pipeline and wait on its future.
-	// The request context bounds the whole stay: client disconnects and
-	// deadlines abandon the wait.
+	// The request context bounds the whole stay: client disconnects
+	// abandon the wait and the pipeline culls the request at the next
+	// stage boundary instead of executing it.
+	var deadline time.Duration
+	switch {
+	case req.TimeoutMS > 0:
+		deadline = time.Duration(req.TimeoutMS) * time.Millisecond
+	case req.TimeoutMS < 0:
+		deadline = -1 // explicit SLO opt-out
+	}
 	fut, err := s.pipe.Submit(r.Context(), core.PipelineRequest{
-		Model:  req.Model,
-		Policy: pol,
-		Input:  in,
+		Model:    req.Model,
+		Policy:   pol,
+		Input:    in,
+		Deadline: deadline,
 	})
 	switch {
 	case errors.Is(err, core.ErrAdmissionFull), errors.Is(err, core.ErrPipelineClosed):
@@ -191,18 +226,28 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusServiceUnavailable, "%v", err)
 		return
+	case errors.Is(err, core.ErrDeadlineInfeasible):
+		// Admission control: no device is predicted to make the SLO
+		// under current load — rejected before any queueing.
+		httpErrorReason(w, http.StatusGatewayTimeout, "deadline_infeasible", "%v", err)
+		return
 	case err != nil:
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	c, err := fut.Wait(r.Context())
 	if err != nil {
-		// The client's deadline expired or it went away; the batch
-		// still completes server-side.
+		// The client went away or its own context deadline fired; the
+		// pipeline will cull the abandoned request before execution.
 		httpError(w, http.StatusGatewayTimeout, "%v", err)
 		return
 	}
-	if c.Err != nil {
+	switch {
+	case errors.Is(c.Err, core.ErrDeadlineExceeded):
+		// Admitted but the SLO passed before execution: culled, never run.
+		httpErrorReason(w, http.StatusGatewayTimeout, "deadline_exceeded", "%v", c.Err)
+		return
+	case c.Err != nil:
 		httpError(w, http.StatusInternalServerError, "%v", c.Err)
 		return
 	}
@@ -217,6 +262,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		EnergyJ:   c.EnergyJ,
 		BatchSize: c.BatchSize,
 		WaitUS:    c.Wait.Microseconds(),
+		Hedged:    c.Hedged,
 	})
 }
 
@@ -365,20 +411,25 @@ func (s *Server) handlePipeline(w http.ResponseWriter, r *http.Request) {
 	}
 	st := s.pipe.Stats()
 	writeJSON(w, map[string]interface{}{
-		"submitted":      st.Submitted,
-		"shed":           st.Shed,
-		"cancelled":      st.Cancelled,
-		"completed":      st.Completed,
-		"batches":        st.Batches,
-		"size_flushes":   st.SizeFlushes,
-		"window_flushes": st.WindowFlushes,
-		"idle_flushes":   st.IdleFlushes,
-		"drain_flushes":  st.DrainFlushes,
-		"retries":        st.Retries,
-		"failovers":      st.Failovers,
-		"exec_failures":  st.ExecFailures,
-		"in_flight":      st.InFlight,
-		"device_depth":   st.Depth,
+		"submitted":       st.Submitted,
+		"shed":            st.Shed,
+		"infeasible":      st.Infeasible,
+		"cancelled":       st.Cancelled,
+		"expired":         st.Expired,
+		"failed":          st.Failed,
+		"completed":       st.Completed,
+		"batches":         st.Batches,
+		"size_flushes":    st.SizeFlushes,
+		"window_flushes":  st.WindowFlushes,
+		"idle_flushes":    st.IdleFlushes,
+		"drain_flushes":   st.DrainFlushes,
+		"retries":         st.Retries,
+		"failovers":       st.Failovers,
+		"exec_failures":   st.ExecFailures,
+		"hedges_launched": st.HedgesLaunched,
+		"hedges_won":      st.HedgesWon,
+		"in_flight":       st.InFlight,
+		"device_depth":    st.Depth,
 	})
 }
 
@@ -396,6 +447,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if quarantined == nil {
 		quarantined = []string{}
 	}
+	pst := s.pipe.Stats()
 	writeJSON(w, map[string]interface{}{
 		"decisions":    st.Decisions,
 		"spills":       st.Spills,
@@ -405,5 +457,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"readmissions": st.Readmissions,
 		"quarantined":  quarantined,
 		"uptime_us":    s.now().Microseconds(),
+		// Deadline/overload posture: what admission control rejected,
+		// what was culled, and how hedging performed.
+		"slo": map[string]int64{
+			"infeasible":      pst.Infeasible,
+			"culled":          pst.Cancelled,
+			"expired":         pst.Expired,
+			"hedges_launched": pst.HedgesLaunched,
+			"hedges_won":      pst.HedgesWon,
+		},
 	})
 }
