@@ -1,13 +1,14 @@
 # Verification entry points. `make verify` is the gate every change
-# must pass: vet, build, the full test suite, and the race detector
-# over the concurrent packages (serving pipeline + HTTP server + the
-# fault-injecting simulated runtime).
+# must pass: vet, the project's own static-analysis suite (bomwvet),
+# build, the full test suite, and the race detector over the concurrent
+# packages (serving pipeline + HTTP server + the fault-injecting
+# simulated runtime).
 
 GO ?= go
 
-.PHONY: verify build test vet race bench soak soak-deadline fuzz
+.PHONY: verify build test vet lint lint-json race bench soak soak-deadline fuzz
 
-verify: vet build test race
+verify: vet lint build test race
 
 build:
 	$(GO) build ./...
@@ -15,14 +16,25 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Project-specific invariants go vet cannot see: virtual-clock
+# discipline, lock scope, guarded counters, sentinel errors, context
+# placement. See internal/lint and DESIGN.md "Static analysis".
+lint:
+	$(GO) run ./cmd/bomwvet ./...
+
+# Machine-readable findings for editors and CI annotations.
+lint-json:
+	$(GO) run ./cmd/bomwvet -json ./...
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./internal/core/... ./internal/server/... ./internal/trace/... ./internal/opencl/...
 
+BENCHTIME ?= 2s
 bench:
-	$(GO) test -run=NONE -bench=BenchmarkPipelineServe -benchtime=2s ./internal/core/
+	$(GO) test -run=NONE -bench=BenchmarkPipelineServe -benchtime=$(BENCHTIME) ./internal/core/
 
 # Failure-domain soak: overload + persistent device faults + mid-run
 # recovery under the race detector (skipped by -short elsewhere).

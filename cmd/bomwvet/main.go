@@ -1,0 +1,171 @@
+// Command bomwvet runs bomw's project-specific static-analysis suite —
+// the invariants `go vet` cannot see: virtual-clock discipline, lock
+// scope, guarded counters, sentinel-error hygiene, and context
+// placement. See internal/lint for the analyzers and the //bomw:
+// directive syntax.
+//
+// Usage:
+//
+//	bomwvet [flags] [packages]
+//
+//	bomwvet ./...            # whole module (the make lint invocation)
+//	bomwvet -json ./...      # machine-readable findings for editors/CI
+//	bomwvet -only wallclock ./internal/core/...
+//	bomwvet -skip lockscope ./...
+//	bomwvet -list            # describe the analyzers
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"bomw/internal/lint"
+)
+
+func main() {
+	var (
+		jsonOut = flag.Bool("json", false, "emit findings as JSON")
+		only    = flag.String("only", "", "comma-separated analyzers to run (default: all)")
+		skip    = flag.String("skip", "", "comma-separated analyzers to disable")
+		tests   = flag.Bool("tests", false, "also analyze _test.go files")
+		list    = flag.Bool("list", false, "list analyzers and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%s\n", a.Name)
+			for _, line := range strings.Split(a.Doc, "\n") {
+				fmt.Printf("    %s\n", line)
+			}
+		}
+		return
+	}
+
+	analyzers, err := selectAnalyzers(*only, *skip)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bomwvet:", err)
+		os.Exit(2)
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bomwvet:", err)
+		os.Exit(2)
+	}
+	root, err := lint.ModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bomwvet:", err)
+		os.Exit(2)
+	}
+
+	// Patterns are relative to the invoking directory, like go vet —
+	// not to the module root Load would otherwise resolve against.
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	pkgs, err := lint.Load(root, absPatterns(cwd, args))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bomwvet:", err)
+		os.Exit(2)
+	}
+	findings, err := lint.Run(pkgs, analyzers, lint.RunOptions{IncludeTests: *tests})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bomwvet:", err)
+		os.Exit(2)
+	}
+
+	// Report paths relative to the module root: stable across machines,
+	// clickable in editors and CI logs.
+	for i := range findings {
+		if rel, rerr := filepath.Rel(root, findings[i].File); rerr == nil {
+			findings[i].File = filepath.ToSlash(rel)
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", " ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "bomwvet:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "bomwvet: %d finding(s)\n", len(findings))
+		}
+		os.Exit(1)
+	}
+}
+
+func selectAnalyzers(only, skip string) ([]*lint.Analyzer, error) {
+	if only != "" && skip != "" {
+		return nil, fmt.Errorf("-only and -skip are mutually exclusive")
+	}
+	if only != "" {
+		return lint.ByName(splitList(only))
+	}
+	skipped := map[string]bool{}
+	if skip != "" {
+		// Validate the names so a typo fails loudly instead of silently
+		// running everything.
+		if _, err := lint.ByName(splitList(skip)); err != nil {
+			return nil, err
+		}
+		for _, n := range splitList(skip) {
+			skipped[n] = true
+		}
+	}
+	var out []*lint.Analyzer
+	for _, a := range lint.All() {
+		if !skipped[a.Name] {
+			out = append(out, a)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("every analyzer is skipped")
+	}
+	return out, nil
+}
+
+func absPatterns(cwd string, args []string) []string {
+	out := make([]string, len(args))
+	for i, a := range args {
+		base, suffix := a, ""
+		if a == "..." {
+			base, suffix = ".", "/..."
+		} else if strings.HasSuffix(a, "/...") {
+			base, suffix = strings.TrimSuffix(a, "/..."), "/..."
+		}
+		if !filepath.IsAbs(base) {
+			base = filepath.Join(cwd, base)
+		}
+		out[i] = base + suffix
+	}
+	return out
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -174,7 +174,9 @@ func (c *PipelineConfig) fillDefaults() {
 		c.DeviceQueueDepth = 8
 	}
 	if c.Clock == nil {
+		//bomw:wallclock the default serving clock IS the wall clock, anchored at pipeline creation; simulated callers inject their own Clock
 		start := time.Now()
+		//bomw:wallclock see above: wall time since creation is the default virtual-time mapping
 		c.Clock = func() time.Duration { return time.Since(start) }
 	}
 	if c.MaxAttempts <= 0 {
@@ -307,6 +309,7 @@ type PipelineStats struct {
 
 // pipeReq is one admitted request moving through the stages.
 type pipeReq struct {
+	//bomw:ctxparam pipeReq is the per-request carrier: stages observe this request's cancellation at every queue boundary, so the ctx travels with it
 	ctx      context.Context
 	req      PipelineRequest
 	at       time.Duration // virtual arrival
@@ -484,6 +487,7 @@ func NewPipeline(sched *Scheduler, cfg PipelineConfig) *Pipeline {
 // rejoins the schedulable set without operator action.
 func (p *Pipeline) prober() {
 	defer p.workers.Done()
+	//bomw:wallclock recovery probing is a live serving activity: quarantined hardware is re-tested on real time, not simulated time
 	tick := time.NewTicker(p.cfg.ProbeInterval)
 	defer tick.Stop()
 	for {
@@ -733,6 +737,7 @@ func (p *Pipeline) ingest(r *pipeReq) {
 		p.aggs[key] = agg
 		gen := agg.gen
 		// Arm the window timer for the oldest request of the aggregate.
+		//bomw:wallclock live batching flushes on real elapsed time — the Window SLO is a wall-clock bound on aggregation delay
 		time.AfterFunc(p.cfg.Window, func() {
 			select {
 			case p.flushCh <- flushMsg{key: key, gen: gen}:
@@ -844,6 +849,7 @@ func (p *Pipeline) flushKey(key aggKey, gen uint64) bool {
 		// place while the hedge goroutine reads its own copy.
 		work.hedgeReqs = append([]*pipeReq(nil), live...)
 		slack := minDL - now
+		//bomw:wallclock hedging races real stragglers: the half-slack trigger must fire on the wall clock the straggler is stuck on
 		work.hedgeTimer = time.AfterFunc(slack/2, func() { p.hedge(work) })
 	}
 	p.inflight.Add(1)
@@ -938,6 +944,7 @@ func (p *Pipeline) runBatch(dq *deviceQueue, w *batchWork) {
 		p.sched.ReportExecution(dec.Device, err)
 		for attempt := 1; err != nil && attempt < p.cfg.MaxAttempts; attempt++ {
 			if p.cfg.RetryBackoff > 0 {
+				//bomw:wallclock failover backoff pauses the real worker goroutine; a virtual-clock sleep would not give the device time to recover
 				time.Sleep(p.cfg.RetryBackoff << (attempt - 1))
 			}
 			// Deadlines keep ticking through failures and backoff; an

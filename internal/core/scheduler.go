@@ -162,6 +162,7 @@ func New(cfg Config) (*Scheduler, error) {
 		classifiers: map[Policy]mlsched.Classifier{},
 		cvMetrics:   map[Policy]mlsched.Metrics{},
 		health:      newHealthMonitor(),
+		stats:       Stats{PerDevice: map[string]int{}, PerPolicy: map[Policy]int{}},
 	}
 	for _, d := range cfg.Devices {
 		if d.Profile().HasBoost {
@@ -196,8 +197,6 @@ func New(cfg Config) (*Scheduler, error) {
 			s.cvMetrics[pol] = m
 		}
 	}
-	s.stats.PerDevice = map[string]int{}
-	s.stats.PerPolicy = map[Policy]int{}
 	return s, nil
 }
 
@@ -350,6 +349,7 @@ func (s *Scheduler) Select(model string, batch int, pol Policy, now time.Duratio
 // then the best-ranked one is used anyway, since refusing to schedule
 // would fail the request outright.
 func (s *Scheduler) SelectExcluding(model string, batch int, pol Policy, now time.Duration, exclude map[string]bool) (Decision, error) {
+	//bomw:wallclock DecisionTime measures the real classification cost (paper Table II), not simulated time
 	t0 := time.Now()
 	if batch <= 0 {
 		return Decision{}, fmt.Errorf("core: batch size must be positive, got %d", batch)
@@ -445,14 +445,15 @@ func (s *Scheduler) SelectExcluding(model string, batch int, pol Policy, now tim
 	spilled := choice != order[0]
 
 	d := Decision{
-		Model:        model,
-		Batch:        batch,
-		Policy:       pol,
-		Class:        choice,
-		Device:       s.devices[choice].Name(),
-		GPUWarm:      warm,
-		Spilled:      spilled,
-		Features:     feats,
+		Model:    model,
+		Batch:    batch,
+		Policy:   pol,
+		Class:    choice,
+		Device:   s.devices[choice].Name(),
+		GPUWarm:  warm,
+		Spilled:  spilled,
+		Features: feats,
+		//bomw:wallclock real elapsed classification time, paired with the t0 above
 		DecisionTime: time.Since(t0),
 	}
 	s.mu.Lock()

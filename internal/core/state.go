@@ -76,6 +76,7 @@ func LoadState(cfg Config, r io.Reader) (*Scheduler, error) {
 		classifiers: map[Policy]mlsched.Classifier{},
 		cvMetrics:   map[Policy]mlsched.Metrics{},
 		health:      newHealthMonitor(),
+		stats:       Stats{PerDevice: map[string]int{}, PerPolicy: map[Policy]int{}},
 	}
 	for _, d := range cfg.Devices {
 		if d.Profile().HasBoost {
@@ -139,7 +140,5 @@ func LoadState(cfg Config, r io.Reader) (*Scheduler, error) {
 			return nil, fmt.Errorf("core: saved state missing %v classifier", pol)
 		}
 	}
-	s.stats.PerDevice = map[string]int{}
-	s.stats.PerPolicy = map[Policy]int{}
 	return s, nil
 }

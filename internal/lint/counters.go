@@ -1,0 +1,212 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// counters machine-checks the PR-4 accounting identities: fields of the
+// mutex-guarded stats structs (core.Stats today; PipelineStats if it
+// ever grows owned mutation sites) may only be mutated inside methods
+// of the type that owns the struct, while a mutex of that owner is
+// held. Local snapshots — `out := Stats{...}` in a Stats() accessor —
+// are fine: the rule fires only when the mutated struct is reached
+// through a field of another type, i.e. is owned state.
+//
+// The identity this protects:
+//
+//	Submitted = Completed + Shed + Infeasible + Expired + Failed
+//
+// holds only while every counter moves through locked accessors; one
+// unlocked increment silently skews every overload experiment.
+var analyzerCounters = &Analyzer{
+	Name: "counters",
+	Doc: "fields of Stats/PipelineStats may only be mutated inside methods of the\n" +
+		"owning type while the owner's mutex is held",
+	Run: runCounters,
+}
+
+// statsTypeNames are the guarded struct types, matched by name within
+// the analyzed package.
+var statsTypeNames = map[string]bool{
+	"Stats":         true,
+	"PipelineStats": true,
+}
+
+func runCounters(pass *Pass) error {
+	if pass.Pkg.Info == nil {
+		return nil
+	}
+	for _, f := range pass.Files() {
+		if f.Test {
+			continue
+		}
+		for _, decl := range f.AST.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			recvName, recvType := receiverOf(fn)
+			visit := func(stmt ast.Stmt, held []heldLock) {
+				checkCounterStmt(pass, stmt, held, recvName, recvType, fn.Name.Name)
+			}
+			lockWalk(fn.Body, visit)
+			// Closures run with their own lock scope but the same
+			// lexical receiver.
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					lockWalk(lit.Body, visit)
+					return false
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func receiverOf(fn *ast.FuncDecl) (name, typ string) {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return "", ""
+	}
+	field := fn.Recv.List[0]
+	t := field.Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		typ = id.Name
+	}
+	if len(field.Names) > 0 {
+		name = field.Names[0].Name
+	}
+	return name, typ
+}
+
+func checkCounterStmt(pass *Pass, stmt ast.Stmt, held []heldLock, recvName, recvType, funcName string) {
+	var targets []ast.Expr
+	switch s := stmt.(type) {
+	case *ast.AssignStmt:
+		targets = s.Lhs
+	case *ast.IncDecStmt:
+		targets = []ast.Expr{s.X}
+	default:
+		return
+	}
+	for _, t := range targets {
+		statsExpr, fieldName := ownedStatsTarget(pass, t)
+		if statsExpr == nil {
+			continue
+		}
+		typeName := namedTypeName(pass, statsExpr)
+		root := rootIdent(statsExpr)
+		switch {
+		case recvType == "" || root == nil || root.Name != recvName:
+			pass.Reportf(t.Pos(),
+				"field %s of %s mutated in %s, outside the owning type's methods: counters must move through locked accessors so the accounting identities stay machine-checked",
+				fieldName, typeName, funcName)
+		case !holdsReceiverMutex(held, recvName):
+			pass.Reportf(t.Pos(),
+				"field %s of %s mutated without holding %s's mutex: take %s.mu (or a sibling mutex of %s) before touching guarded counters",
+				fieldName, typeName, recvName, recvName, recvName)
+		}
+	}
+}
+
+// ownedStatsTarget reports whether the assignment target mutates a
+// guarded stats struct reached through a field of another type,
+// returning the stats-typed selector and the mutated field name.
+// Index expressions (map/slice writes into a stats field) unwrap to
+// their base.
+func ownedStatsTarget(pass *Pass, t ast.Expr) (statsSel ast.Expr, field string) {
+	expr := t
+	for {
+		switch e := expr.(type) {
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		default:
+			goto unwrapped
+		}
+	}
+unwrapped:
+	// Walk the selector chain outside-in: for s.stats.PerDevice the
+	// prefixes are s.stats (Stats-typed, a field selector → owned) and
+	// s. A plain local (out.PerDevice) never has a Stats-typed
+	// *selector* prefix, so snapshots pass.
+	for {
+		sel, ok := expr.(*ast.SelectorExpr)
+		if !ok {
+			return nil, ""
+		}
+		if isStatsType(pass, sel.X) {
+			if _, ok := sel.X.(*ast.SelectorExpr); ok {
+				return sel.X, sel.Sel.Name
+			}
+			return nil, "" // local variable or parameter: a snapshot
+		}
+		// Whole-struct replacement: s.stats = Stats{...}.
+		if isStatsType(pass, sel) && selIsField(pass, sel) {
+			return sel, sel.Sel.Name
+		}
+		expr = sel.X
+	}
+}
+
+func isStatsType(pass *Pass, e ast.Expr) bool {
+	return statsTypeNames[namedTypeName(pass, e)]
+}
+
+// namedTypeName resolves the named type of an expression ("" when
+// unknown), looking through pointers.
+func namedTypeName(pass *Pass, e ast.Expr) string {
+	tv, ok := pass.Pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return ""
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	return named.Obj().Name()
+}
+
+// selIsField reports whether the selector resolves to a struct field.
+func selIsField(pass *Pass, sel *ast.SelectorExpr) bool {
+	s, ok := pass.Pkg.Info.Selections[sel]
+	return ok && s.Kind() == types.FieldVal
+}
+
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.Ident:
+			return x
+		default:
+			return nil
+		}
+	}
+}
+
+// holdsReceiverMutex reports whether any held lock lives on the
+// receiver (s.mu, s.closeMu, ...).
+func holdsReceiverMutex(held []heldLock, recvName string) bool {
+	for _, h := range held {
+		if strings.HasPrefix(h.key, recvName+".") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,325 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// lockscope enforces the pipeline's deadlock invariant: a mutex
+// acquired in a function must not be held across a blocking operation —
+// a channel send or receive, a blocking select, a Wait call
+// (Future.Wait, WaitGroup.Wait), or another lock acquisition. The
+// serving path holds its locks for bookkeeping only; anything that can
+// park the goroutine while a lock is held can wedge admission, drain,
+// and every worker behind it.
+//
+// The analysis walks each function body linearly, tracking mutexes
+// locked directly in that function (x.Lock / x.RLock up to the matching
+// Unlock, or function end for defer x.Unlock). It is intraprocedural
+// and optimistic at branch merges: a branch that unlocks and falls
+// through clears the lock, and function literals are analyzed as their
+// own functions (a closure runs later, not under the caller's locks).
+// A select with a default case is non-blocking and allowed.
+var analyzerLockscope = &Analyzer{
+	Name: "lockscope",
+	Doc: "forbid blocking operations (channel send/receive, blocking select, Wait,\n" +
+		"another Lock) while a mutex is held",
+	Run: runLockscope,
+}
+
+// heldLock is one directly-acquired mutex not yet released.
+type heldLock struct {
+	key      string // rendered receiver, e.g. "s.mu"
+	pos      token.Pos
+	deferred bool // released by defer: held to function end
+}
+
+func runLockscope(pass *Pass) error {
+	for _, f := range pass.Files() {
+		forEachFuncBody(f.AST, func(body *ast.BlockStmt) {
+			lockWalk(body, func(stmt ast.Stmt, held []heldLock) {
+				if len(held) == 0 {
+					return
+				}
+				checkBlockingStmt(pass, stmt, held)
+			})
+		})
+	}
+	return nil
+}
+
+// forEachFuncBody visits every function body in the file: declarations
+// and literals, each analyzed independently.
+func forEachFuncBody(f *ast.File, visit func(*ast.BlockStmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				visit(fn.Body)
+			}
+		case *ast.FuncLit:
+			visit(fn.Body)
+		}
+		return true
+	})
+}
+
+// lockCallKind classifies a call as a mutex operation on a receiver.
+func lockCallKind(call *ast.CallExpr) (key string, kind string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		return types.ExprString(sel.X), "lock"
+	case "Unlock", "RUnlock":
+		return types.ExprString(sel.X), "unlock"
+	}
+	return "", ""
+}
+
+// lockWalk runs visit over every statement of the body with the set of
+// mutexes held at that point (before the statement's own effect).
+func lockWalk(body *ast.BlockStmt, visit func(ast.Stmt, []heldLock)) {
+	walkStmts(body.List, &[]heldLock{}, visit)
+}
+
+func cloneHeld(held *[]heldLock) *[]heldLock {
+	cp := append([]heldLock(nil), *held...)
+	return &cp
+}
+
+func addHeld(held *[]heldLock, h heldLock) {
+	*held = append(*held, h)
+}
+
+func removeHeld(held *[]heldLock, key string) {
+	out := (*held)[:0]
+	for _, h := range *held {
+		if h.key != key {
+			out = append(out, h)
+		}
+	}
+	*held = out
+}
+
+// intersectHeld keeps only locks present in both states (optimistic
+// merge after a branch both arms of which may or may not have run).
+func intersectHeld(held *[]heldLock, other []heldLock) {
+	keys := map[string]bool{}
+	for _, h := range other {
+		keys[h.key] = true
+	}
+	out := (*held)[:0]
+	for _, h := range *held {
+		if keys[h.key] {
+			out = append(out, h)
+		}
+	}
+	*held = out
+}
+
+// terminates reports whether the statement list ends in a statement
+// that does not fall through (return, branch, panic).
+func terminates(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch last := list[len(list)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func walkStmts(list []ast.Stmt, held *[]heldLock, visit func(ast.Stmt, []heldLock)) {
+	for _, stmt := range list {
+		walkStmt(stmt, held, visit)
+	}
+}
+
+func walkStmt(stmt ast.Stmt, held *[]heldLock, visit func(ast.Stmt, []heldLock)) {
+	visit(stmt, *held)
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if key, kind := lockCallKind(call); key != "" {
+				switch kind {
+				case "lock":
+					addHeld(held, heldLock{key: key, pos: call.Pos()})
+				case "unlock":
+					removeHeld(held, key)
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		if key, kind := lockCallKind(s.Call); kind == "unlock" {
+			for i := range *held {
+				if (*held)[i].key == key {
+					(*held)[i].deferred = true
+				}
+			}
+		}
+	case *ast.BlockStmt:
+		walkStmts(s.List, held, visit)
+	case *ast.LabeledStmt:
+		walkStmt(s.Stmt, held, visit)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			walkStmt(s.Init, held, visit)
+		}
+		bodyState := cloneHeld(held)
+		walkStmts(s.Body.List, bodyState, visit)
+		if s.Else != nil {
+			elseState := cloneHeld(held)
+			walkStmt(s.Else, elseState, visit)
+			switch {
+			case terminates(s.Body.List):
+				*held = *elseState
+			case elseTerminates(s.Else):
+				*held = *bodyState
+			default:
+				*held = *bodyState
+				intersectHeld(held, *elseState)
+			}
+			return
+		}
+		if !terminates(s.Body.List) {
+			intersectHeld(held, *bodyState)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			walkStmt(s.Init, held, visit)
+		}
+		bodyState := cloneHeld(held)
+		walkStmts(s.Body.List, bodyState, visit)
+		intersectHeld(held, *bodyState)
+	case *ast.RangeStmt:
+		bodyState := cloneHeld(held)
+		walkStmts(s.Body.List, bodyState, visit)
+		intersectHeld(held, *bodyState)
+	case *ast.SwitchStmt:
+		walkCaseBodies(s.Body, held, visit)
+	case *ast.TypeSwitchStmt:
+		walkCaseBodies(s.Body, held, visit)
+	case *ast.SelectStmt:
+		for _, cl := range s.Body.List {
+			comm, ok := cl.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			caseState := cloneHeld(held)
+			walkStmts(comm.Body, caseState, visit)
+			intersectHeld(held, *caseState)
+		}
+	}
+}
+
+func elseTerminates(els ast.Stmt) bool {
+	switch e := els.(type) {
+	case *ast.BlockStmt:
+		return terminates(e.List)
+	case *ast.IfStmt:
+		return terminates(e.Body.List) && e.Else != nil && elseTerminates(e.Else)
+	}
+	return false
+}
+
+func walkCaseBodies(body *ast.BlockStmt, held *[]heldLock, visit func(ast.Stmt, []heldLock)) {
+	for _, cl := range body.List {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		caseState := cloneHeld(held)
+		walkStmts(cc.Body, caseState, visit)
+		intersectHeld(held, *caseState)
+	}
+}
+
+// ---- blocking-operation checks ----------------------------------------
+
+// checkBlockingStmt flags blocking operations in the statement's own
+// expressions while locks are held. Nested statements get their own
+// visit calls from the walker, and function literals run later — both
+// are skipped here.
+func checkBlockingStmt(pass *Pass, stmt ast.Stmt, held []heldLock) {
+	holder := held[len(held)-1].key
+	switch s := stmt.(type) {
+	case *ast.SendStmt:
+		pass.Reportf(s.Arrow, "channel send while mutex %s is held: a blocked send wedges every goroutine waiting on the lock", holder)
+		checkBlockingExprs(pass, holder, held, s.Chan, s.Value)
+	case *ast.SelectStmt:
+		if !selectHasDefault(s) {
+			pass.Reportf(s.Select, "blocking select while mutex %s is held (a default case would make it non-blocking)", holder)
+		}
+	case *ast.ExprStmt:
+		checkBlockingExprs(pass, holder, held, s.X)
+	case *ast.AssignStmt:
+		checkBlockingExprs(pass, holder, held, append(append([]ast.Expr{}, s.Lhs...), s.Rhs...)...)
+	case *ast.ReturnStmt:
+		checkBlockingExprs(pass, holder, held, s.Results...)
+	case *ast.IfStmt:
+		checkBlockingExprs(pass, holder, held, s.Cond)
+	case *ast.ForStmt:
+		if s.Cond != nil {
+			checkBlockingExprs(pass, holder, held, s.Cond)
+		}
+	case *ast.SwitchStmt:
+		if s.Tag != nil {
+			checkBlockingExprs(pass, holder, held, s.Tag)
+		}
+	case *ast.RangeStmt:
+		checkBlockingExprs(pass, holder, held, s.X)
+	case *ast.DeferStmt, *ast.GoStmt:
+		// The call runs later (or concurrently), not under these locks.
+	}
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, cl := range s.Body.List {
+		if comm, ok := cl.(*ast.CommClause); ok && comm.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func checkBlockingExprs(pass *Pass, holder string, held []heldLock, exprs ...ast.Expr) {
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		ast.Inspect(e, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncLit:
+				return false // analyzed as its own function
+			case *ast.UnaryExpr:
+				if x.Op == token.ARROW {
+					pass.Reportf(x.OpPos, "channel receive while mutex %s is held: a blocked receive wedges every goroutine waiting on the lock", holder)
+				}
+			case *ast.CallExpr:
+				if key, kind := lockCallKind(x); kind == "lock" {
+					for _, h := range held {
+						if h.key == key {
+							pass.Reportf(x.Pos(), "mutex %s re-acquired while already held: guaranteed self-deadlock", key)
+							return true
+						}
+					}
+					pass.Reportf(x.Pos(), "mutex %s acquired while %s is held: nested locking across scopes invites lock-order deadlocks", key, holder)
+				} else if sel, ok := x.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+					pass.Reportf(x.Pos(), "blocking %s.Wait call while mutex %s is held", types.ExprString(sel.X), holder)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,68 @@
+package counters
+
+import "sync"
+
+// Stats mirrors the guarded accounting structs of internal/core: its
+// fields may only move inside Owner's methods while Owner's mutex is
+// held.
+type Stats struct {
+	Submitted int
+	Completed int
+	PerDevice map[string]int
+}
+
+type Owner struct {
+	mu    sync.Mutex
+	stats Stats
+}
+
+// locked mutates under the owner's mutex: the blessed pattern.
+func (o *Owner) locked() {
+	o.mu.Lock()
+	o.stats.Submitted++
+	o.stats.PerDevice["gpu"]++
+	o.mu.Unlock()
+}
+
+// deferredLock holds via defer — still held, still fine.
+func (o *Owner) deferredLock() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.stats.Completed++
+}
+
+func (o *Owner) unlocked() {
+	o.stats.Submitted++ // want "mutated without holding o's mutex"
+}
+
+func (o *Owner) replaceUnlocked() {
+	o.stats = Stats{} // want "mutated without holding o's mutex"
+}
+
+// asyncMutation: the closure runs on its own goroutine later, when the
+// method's lock is long gone — it must lock for itself.
+func (o *Owner) asyncMutation() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	go func() {
+		o.stats.Completed++ // want "mutated without holding o's mutex"
+	}()
+}
+
+// snapshot builds a local copy: a local Stats value is not owned state,
+// so mutating it is fine even without the lock.
+func (o *Owner) snapshot() Stats {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := Stats{Submitted: o.stats.Submitted}
+	out.PerDevice = map[string]int{}
+	out.Completed = o.stats.Completed
+	return out
+}
+
+// outside is not a method of any type: counters must not move here.
+func outside(o *Owner) {
+	o.mu.Lock()
+	o.stats.Submitted++ // want "outside the owning type's methods"
+	o.mu.Unlock()
+}

@@ -1,0 +1,32 @@
+package ctxparam
+
+import "context"
+
+type badCarrier struct {
+	name string
+	ctx  context.Context // want "context.Context stored in struct field ctx"
+}
+
+// okCarrier is the blessed exception: a per-request carrier whose
+// context travels with the request by design.
+type okCarrier struct {
+	//bomw:ctxparam request carrier: stages observe this request's cancellation at queue boundaries
+	ctx context.Context
+}
+
+func ctxSecond(id int, ctx context.Context) { // want "context.Context is not the first parameter"
+	_ = id
+	_ = ctx
+}
+
+// ---- clean patterns ----
+
+func ctxFirst(ctx context.Context, id int) {
+	_ = ctx
+	_ = id
+}
+
+func noCtx(id int) int { return id }
+
+var _ = badCarrier{}
+var _ = okCarrier{}

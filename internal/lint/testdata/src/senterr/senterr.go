@@ -1,0 +1,46 @@
+package senterr
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrFull = errors.New("admission queue full")
+
+var errClosed = errors.New("closed")
+
+func compare(err error) int {
+	if err == ErrFull { // want "sentinel error ErrFull compared with =="
+		return 1
+	}
+	if err != errClosed { // want "sentinel error errClosed compared with !="
+		return 2
+	}
+	return 0
+}
+
+func wrapBad(id int) error {
+	return fmt.Errorf("request %d: %v", id, ErrFull) // want "without %w"
+}
+
+// ---- clean patterns ----
+
+func compareIs(err error) bool {
+	return errors.Is(err, ErrFull) // errors.Is is the contract
+}
+
+func nilChecks(err error) bool {
+	return err != nil // nil comparisons are fine
+}
+
+func wrapGood(id int) error {
+	return fmt.Errorf("request %d: %w", id, ErrFull)
+}
+
+// ErrorRate is not a sentinel (fourth letter is lowercase in the
+// Err-prefix sense — it names a metric, not an error value).
+var ErrorRate float64
+
+func metrics(r float64) bool {
+	return r == ErrorRate
+}

@@ -1,0 +1,17 @@
+package core
+
+import t "time"
+
+type fakeClock struct{}
+
+func (fakeClock) Now() t.Duration { return 0 }
+
+func aliased() {
+	_ = t.Now() // want "wall-clock time.Now"
+}
+
+// shadowed's t is a local fakeClock, not the time package: no finding.
+func shadowed() t.Duration {
+	var t fakeClock
+	return t.Now()
+}

@@ -1,0 +1,38 @@
+package core
+
+import "time"
+
+func tick() {
+	now := time.Now()            // want "wall-clock time.Now in virtual-clock package"
+	time.Sleep(time.Millisecond) // want "wall-clock time.Sleep"
+	_ = now
+}
+
+// elapsed only shuffles durations — the currency of the virtual clock —
+// so it produces no finding.
+func elapsed(a, b time.Duration) time.Duration {
+	return b - a
+}
+
+func suppressed() {
+	//bomw:wallclock fixture: this sleep is the intentional, justified exception
+	time.Sleep(time.Millisecond)
+}
+
+func needsJustification() {
+	//bomw:wallclock
+	time.Sleep(time.Millisecond)
+}
+
+//bomw:wallclock stale: nothing on the next line reads the clock
+func unused() {}
+
+//bomw:wallclock:extra malformed because of the second colon
+func malformed() {}
+
+// Directive-position findings cannot carry a trailing want comment (it
+// would merge into the directive text), so they use absolute lines:
+//
+// want:23 "needs a justification"
+// want:27 "unused //bomw:wallclock directive"
+// want:30 "malformed //bomw: directive"

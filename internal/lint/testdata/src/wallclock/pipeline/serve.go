@@ -1,0 +1,14 @@
+// Package pipeline sits outside the virtual-clock scope: the serving
+// layer may read real time freely, so this file must produce no
+// findings at all.
+package pipeline
+
+import "time"
+
+func Uptime(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+func Nap() {
+	time.Sleep(time.Millisecond)
+}

@@ -24,14 +24,17 @@ func Play(ctx context.Context, tr Trace, speedup float64) <-chan Request {
 	ch := make(chan Request)
 	go func() {
 		defer close(ch)
+		//bomw:wallclock Play is the bridge from recorded virtual timestamps to real arrivals; the timer paces wall time by design
 		timer := time.NewTimer(0)
 		if !timer.Stop() {
 			<-timer.C
 		}
 		defer timer.Stop()
+		//bomw:wallclock replay anchors recorded At offsets to a real start instant
 		start := time.Now()
 		for _, req := range tr {
 			due := time.Duration(float64(req.At) / speedup)
+			//bomw:wallclock real elapsed time since the replay anchor decides how long to pace
 			if wait := due - time.Since(start); wait > 0 {
 				timer.Reset(wait)
 				select {

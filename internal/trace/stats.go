@@ -78,6 +78,18 @@ func RateOver(t Trace, window time.Duration) ([]float64, error) {
 	if len(t) == 0 {
 		return nil, fmt.Errorf("trace: cannot profile an empty trace")
 	}
+	// Duration() is the *last* request's arrival time, so the bucket count
+	// is only right for a time-ordered trace: an out-of-order (or
+	// negative) timestamp would index past the slice. Validate the whole
+	// trace before indexing anything — the offending request may come
+	// *before* the one that exposes it.
+	prev := time.Duration(0)
+	for i, r := range t {
+		if r.At < prev {
+			return nil, fmt.Errorf("trace: request %d arrives out of order", i)
+		}
+		prev = r.At
+	}
 	buckets := int(t.Duration()/window) + 1
 	counts := make([]float64, buckets)
 	for _, r := range t {

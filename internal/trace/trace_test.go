@@ -278,3 +278,21 @@ func TestRateOverProfilesDiurnal(t *testing.T) {
 		t.Fatal("empty trace accepted")
 	}
 }
+
+// Regression: RateOver sizes its buckets from the last request's arrival
+// time, so an out-of-order trace — where an earlier request has the
+// larger timestamp — used to index past the slice and panic. It must
+// reject the trace like Summarize does.
+func TestRateOverRejectsUnorderedTrace(t *testing.T) {
+	tr := Trace{
+		{At: 3 * time.Second, Model: "a", Batch: 1},
+		{At: 1 * time.Second, Model: "a", Batch: 1},
+	}
+	rates, err := RateOver(tr, time.Second)
+	if err == nil {
+		t.Fatalf("out-of-order trace accepted: %v", rates)
+	}
+	if !strings.Contains(err.Error(), "out of order") {
+		t.Fatalf("wrong error: %v", err)
+	}
+}
