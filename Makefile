@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: verify build test vet lint lint-json race bench soak soak-deadline fuzz
+.PHONY: verify build test vet lint lint-json race bench bench-json smoke-cluster soak soak-deadline soak-cluster fuzz
 
 verify: vet lint build test race
 
@@ -30,11 +30,23 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/server/... ./internal/trace/... ./internal/opencl/...
+	$(GO) test -race ./internal/core/... ./internal/cluster/... ./internal/server/... ./internal/trace/... ./internal/opencl/...
 
 BENCHTIME ?= 2s
 bench:
 	$(GO) test -run=NONE -bench=BenchmarkPipelineServe -benchtime=$(BENCHTIME) ./internal/core/
+	$(GO) test -run=NONE -bench=BenchmarkClusterServe -benchtime=$(BENCHTIME) ./internal/cluster/
+
+# Machine-readable throughput artifact (BENCH_pipeline.json): the same
+# closed-loop workloads as the serve benchmarks, emitted as JSON for
+# dashboards and regression tracking.
+bench-json:
+	$(GO) run ./cmd/benchjson
+
+# Cluster smoke drill (CI): an 8-node fleet under load survives one
+# mid-run node kill — eviction, failover, no dropped futures.
+smoke-cluster:
+	$(GO) test -race -count=1 -run 'TestClusterSmoke' -v ./internal/cluster/
 
 # Failure-domain soak: overload + persistent device faults + mid-run
 # recovery under the race detector (skipped by -short elsewhere).
@@ -46,6 +58,11 @@ soak:
 # and expired work is shed or culled.
 soak-deadline:
 	$(GO) test -race -count=1 -run 'TestSoakDeadlineOverload' -v ./internal/core/
+
+# Fleet acceptance soak: 64 nodes, two mid-run kills, SLO attainment
+# within 5 points of the no-fault baseline.
+soak-cluster:
+	$(GO) test -count=1 -run 'TestSoakClusterTwoKills' -v ./internal/cluster/
 
 # Short-budget fuzzing of the binary decoders (state files, traces).
 # Seeds always run in plain `make test`; this target mutates beyond them.

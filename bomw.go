@@ -36,6 +36,7 @@ package bomw
 
 import (
 	"bomw/internal/characterize"
+	"bomw/internal/cluster"
 	"bomw/internal/core"
 	"bomw/internal/device"
 	"bomw/internal/mlsched"
@@ -286,6 +287,64 @@ var (
 	// execution; the work was culled without spending device time.
 	ErrDeadlineExceeded = core.ErrDeadlineExceeded
 )
+
+// The cluster tier: one serving box (scheduler + pipeline + devices) as
+// a replaceable Node, and N of them behind a routing front-end with
+// pluggable policies, failover, and node-level health aggregation.
+type (
+	// Node is one serving box behind the narrow routed surface.
+	Node = core.Node
+	// NodeState is a node's lifecycle position (ready/draining/…).
+	NodeState = core.NodeState
+	// NodeStats snapshots one node's serving activity.
+	NodeStats = core.NodeStats
+	// NodeHealth is the per-node health rollup the fleet aggregates.
+	NodeHealth = core.NodeHealth
+	// Cluster routes requests over N nodes on one shared virtual clock.
+	Cluster = cluster.Cluster
+	// ClusterConfig sets the routing policy, failover and sweep knobs.
+	ClusterConfig = cluster.Config
+	// RoutingPolicy orders candidate nodes for one request.
+	RoutingPolicy = cluster.Policy
+	// FleetStats aggregates routing activity and per-node serving counters.
+	FleetStats = cluster.FleetStats
+	// NodeSnapshot is one node's row in FleetStats.
+	NodeSnapshot = cluster.NodeSnapshot
+)
+
+// Node lifecycle states.
+const (
+	NodeReady    = core.NodeReady
+	NodeDraining = core.NodeDraining
+	NodeDrained  = core.NodeDrained
+	NodeKilled   = core.NodeKilled
+)
+
+// Cluster-tier errors.
+var (
+	// ErrNodeDraining rejects work submitted to a draining node.
+	ErrNodeDraining = core.ErrNodeDraining
+	// ErrNodeDown rejects work submitted to a drained or killed node.
+	ErrNodeDown = core.ErrNodeDown
+	// ErrNoReadyNodes signals fleet-wide load shedding: every node is
+	// evicted from routing.
+	ErrNoReadyNodes = cluster.ErrNoReadyNodes
+)
+
+// NewNode wraps a scheduler and a fresh pipeline into a serving node.
+func NewNode(name string, s *Scheduler, cfg PipelineConfig) *Node {
+	return core.NewNode(name, s, cfg)
+}
+
+// BuildCluster replicates a trained template scheduler into an n-node
+// fleet (shared classifiers, fresh devices) on one shared clock.
+func BuildCluster(template *Scheduler, n int, seed int64, pcfg PipelineConfig, cfg ClusterConfig) (*Cluster, []*Node, error) {
+	return cluster.Build(template, n, seed, pcfg, cfg)
+}
+
+// RoutingPolicyByName builds a routing policy from its CLI/API name:
+// round-robin, least-loaded, model-affinity or weighted-scoring.
+var RoutingPolicyByName = cluster.PolicyByName
 
 // PlayTrace replays a trace's arrival process on the wall clock,
 // delivering requests on a channel as live traffic would arrive.

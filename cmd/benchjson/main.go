@@ -1,0 +1,174 @@
+// Command benchjson measures end-to-end serving throughput — the same
+// closed-loop workloads as BenchmarkPipelineServe and
+// BenchmarkClusterServe — and emits the results as a machine-readable
+// JSON artifact (BENCH_pipeline.json) for dashboards and regression
+// tracking, where `go test -bench` output would need parsing.
+//
+// Each point drives N closed-loop clients (every client waits for its
+// completion before issuing the next request) against either a single
+// serving pipeline or a least-loaded routed fleet, and reports req/s.
+//
+// Usage:
+//
+//	benchjson                      # writes BENCH_pipeline.json
+//	benchjson -n 5000 -nodes 8 -o bench.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bomw/internal/cluster"
+	"bomw/internal/core"
+	"bomw/internal/models"
+)
+
+// Result is one benchmark point of the artifact.
+type Result struct {
+	Name      string  `json:"name"`
+	Clients   int     `json:"clients"`
+	Requests  int     `json:"requests"`
+	ElapsedUS int64   `json:"elapsed_us"`
+	ReqPerS   float64 `json:"req_per_s"`
+}
+
+// Artifact is the BENCH_pipeline.json document.
+type Artifact struct {
+	GeneratedUnix int64    `json:"generated_unix"`
+	GoVersion     string   `json:"go_version,omitempty"`
+	Benchmarks    []Result `json:"benchmarks"`
+}
+
+// runLoad drives n requests through submit from `clients` closed-loop
+// clients and returns the elapsed wall time.
+func runLoad(clients, n int, do func() error) (time.Duration, error) {
+	work := make(chan struct{})
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		go func() {
+			for range work {
+				if err := do(); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		work <- struct{}{}
+	}
+	close(work)
+	for i := 0; i < clients; i++ {
+		if err := <-errs; err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start), nil
+}
+
+func main() {
+	out := flag.String("o", "BENCH_pipeline.json", "output artifact path")
+	n := flag.Int("n", 2000, "requests per benchmark point")
+	nodes := flag.Int("nodes", 4, "fleet size for the cluster points")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	fmt.Fprintln(os.Stderr, "benchjson: characterising devices and training the scheduler…")
+	sched, err := core.New(core.Config{
+		TrainModels: models.PaperModels(),
+		Batches:     []int{8, 512, 8192, 65536},
+		Reps:        1,
+		Seed:        *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := sched.LoadModel(models.MnistSmall(), *seed); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	req := core.PipelineRequest{Model: "mnist-small", Policy: core.BestThroughput, Batch: 8}
+	check := func(c core.Completion, err error) error {
+		if err != nil {
+			return err
+		}
+		return c.Err
+	}
+	art := Artifact{GeneratedUnix: time.Now().Unix()}
+	ctx := context.Background()
+
+	for _, clients := range []int{1, 4, 16} {
+		p := core.NewPipeline(sched, core.PipelineConfig{
+			Window:        500 * time.Microsecond,
+			MaxBatch:      256,
+			ProbeInterval: -1,
+		})
+		elapsed, err := runLoad(clients, *n, func() error { return check(p.Do(ctx, req)) })
+		p.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		art.Benchmarks = append(art.Benchmarks, Result{
+			Name:      fmt.Sprintf("BenchmarkPipelineServe/clients=%d", clients),
+			Clients:   clients,
+			Requests:  *n,
+			ElapsedUS: elapsed.Microseconds(),
+			ReqPerS:   float64(*n) / elapsed.Seconds(),
+		})
+	}
+
+	pol, _ := cluster.PolicyByName("least-loaded", *seed)
+	for _, clients := range []int{1, 4, 16} {
+		fleet, _, err := cluster.Build(sched, *nodes, *seed, core.PipelineConfig{
+			Window:        500 * time.Microsecond,
+			MaxBatch:      256,
+			ProbeInterval: -1,
+		}, cluster.Config{Policy: pol})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		elapsed, err := runLoad(clients, *n, func() error { return check(fleet.Do(ctx, req)) })
+		fleet.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		art.Benchmarks = append(art.Benchmarks, Result{
+			Name:      fmt.Sprintf("BenchmarkClusterServe/clients=%d", clients),
+			Clients:   clients,
+			Requests:  *n,
+			ElapsedUS: elapsed.Microseconds(),
+			ReqPerS:   float64(*n) / elapsed.Seconds(),
+		})
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(art); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, r := range art.Benchmarks {
+		fmt.Printf("%-42s %10.0f req/s\n", r.Name, r.ReqPerS)
+	}
+	fmt.Printf("benchjson: wrote %s\n", *out)
+}

@@ -79,3 +79,37 @@ func parseFaultSpec(spec string) (map[string]opencl.FaultPlan, error) {
 	}
 	return plans, nil
 }
+
+// parseNodeSet parses the -fault-nodes flag: "all", or comma-separated
+// node indices, each in [0, nodes). Returns the indices in input order,
+// deduplicated.
+func parseNodeSet(spec string, nodes int) ([]int, error) {
+	if strings.TrimSpace(spec) == "all" {
+		out := make([]int, nodes)
+		for i := range out {
+			out[i] = i
+		}
+		return out, nil
+	}
+	var out []int
+	seen := map[int]bool{}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		idx, err := strconv.Atoi(part)
+		if err != nil || idx < 0 || idx >= nodes {
+			return nil, fmt.Errorf("bomwsrv: -fault-nodes %q: index %q must be an integer in [0,%d)", spec, part, nodes)
+		}
+		if seen[idx] {
+			continue
+		}
+		seen[idx] = true
+		out = append(out, idx)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("bomwsrv: -fault-nodes %q names no node", spec)
+	}
+	return out, nil
+}

@@ -11,6 +11,7 @@
 //	bomwsrv -addr :8080
 //	bomwsrv -addr :8080 -load sched.state -window 2ms -max-batch 64
 //	bomwsrv -addr :8080 -default-slo 50ms -hedge
+//	bomwsrv -addr :8080 -nodes 64 -route least-loaded
 //
 //	curl -s localhost:8080/v1/devices
 //	curl -s localhost:8080/v1/pipeline
@@ -39,6 +40,18 @@
 // Faulted batches fail over to the next-ranked device; persistent
 // failures quarantine the device (watch /v1/devices and /v1/stats) until
 // a recovery probe re-admits it.
+//
+// Fleet mode: -nodes N replicates the trained scheduler into N serving
+// nodes (shared classifiers, fresh devices) behind the -route policy
+// (round-robin, least-loaded, model-affinity or weighted-scoring).
+// Requests route per the policy with automatic failover; /v1/cluster and
+// /v1/nodes expose fleet stats and node lifecycle (drain/evict/
+// readmit/kill). -fault-nodes picks which nodes the -fault spec arms
+// (default node 0; "all" arms every node with per-node seeds), so a
+// fleet can drill node-level failure:
+//
+//	bomwsrv -nodes 8 -route least-loaded \
+//	  -fault 'GTX 1080 Ti=outage:30s-5m' -fault-nodes 0,3
 package main
 
 import (
@@ -52,6 +65,7 @@ import (
 	"syscall"
 	"time"
 
+	"bomw/internal/cluster"
 	"bomw/internal/core"
 	"bomw/internal/models"
 	"bomw/internal/opencl"
@@ -71,10 +85,14 @@ func main() {
 	hedge := flag.Bool("hedge", false, "re-submit straggling deadline-carrying batches to the second-best device (first result wins)")
 	faultSpec := flag.String("fault", "", "fault-injection spec, e.g. 'GTX 1080 Ti=err:0.05,outage:30s-45s' (see doc comment)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for fault-injection draws")
+	nodes := flag.Int("nodes", 1, "fleet size: serving-node replicas behind the router")
+	route := flag.String("route", "round-robin", "routing policy: round-robin, least-loaded, model-affinity or weighted-scoring")
+	faultNodes := flag.String("fault-nodes", "0", "comma-separated node indices the -fault spec arms, or 'all' (per-node seeds)")
 	flag.Parse()
 
-	// Parse the fault spec before the expensive characterisation run so a
-	// typo fails fast; device names are validated once the scheduler is up.
+	// Parse the fault spec, routing policy and fault-node set before the
+	// expensive characterisation run so a typo fails fast; device names
+	// are validated once the scheduler is up.
 	var faultPlans map[string]opencl.FaultPlan
 	if *faultSpec != "" {
 		var err error
@@ -83,9 +101,18 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	policy, err := cluster.PolicyByName(*route, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	faultIdx, err := parseNodeSet(*faultNodes, *nodes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	var sched *core.Scheduler
-	var err error
 	if *loadPath != "" {
 		f, err2 := os.Open(*loadPath)
 		if err2 != nil {
@@ -109,31 +136,46 @@ func main() {
 		}
 	}
 
-	if len(faultPlans) > 0 {
-		known := map[string]bool{}
-		for _, name := range sched.Devices() {
-			known[name] = true
-		}
-		fi := opencl.NewFaultInjector(*faultSeed)
-		for dev, plan := range faultPlans {
-			if !known[dev] {
-				fmt.Fprintf(os.Stderr, "bomwsrv: -fault names unknown device %q (have %v)\n", dev, sched.Devices())
-				os.Exit(1)
-			}
-			fi.SetPlan(dev, plan)
-		}
-		sched.Runtime().SetFaultInjector(fi)
-		fmt.Printf("bomwsrv: fault injection armed on %v (seed %d)\n", fi.Devices(), *faultSeed)
+	if *nodes > 1 {
+		fmt.Printf("bomwsrv: replicating into a %d-node fleet (%s routing)…\n", *nodes, policy.Name())
 	}
-
-	api := server.NewWithConfig(sched, *seed, core.PipelineConfig{
+	api, err := server.NewCluster(sched, *seed, core.PipelineConfig{
 		Window:           *window,
 		MaxBatch:         *maxBatch,
 		QueueDepth:       *queueDepth,
 		DeviceQueueDepth: *deviceDepth,
 		DefaultSLO:       *defaultSLO,
 		Hedge:            *hedge,
-	})
+	}, *nodes, cluster.Config{Policy: policy, Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if len(faultPlans) > 0 {
+		known := map[string]bool{}
+		for _, name := range sched.Devices() {
+			known[name] = true
+		}
+		for dev := range faultPlans {
+			if !known[dev] {
+				fmt.Fprintf(os.Stderr, "bomwsrv: -fault names unknown device %q (have %v)\n", dev, sched.Devices())
+				os.Exit(1)
+			}
+		}
+		// Per-node injectors with decorrelated seeds: node i draws from
+		// faultSeed+i, so "all" does not fault every replica in lockstep.
+		fleet := api.Nodes()
+		for _, idx := range faultIdx {
+			fi := opencl.NewFaultInjector(*faultSeed + int64(idx))
+			for dev, plan := range faultPlans {
+				fi.SetPlan(dev, plan)
+			}
+			fleet[idx].Scheduler().Runtime().SetFaultInjector(fi)
+		}
+		fmt.Printf("bomwsrv: fault injection armed on nodes %v (base seed %d)\n", faultIdx, *faultSeed)
+	}
+
 	srv := &http.Server{Addr: *addr, Handler: api}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -141,7 +183,7 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Printf("bomwsrv: %d models loaded, serving on %s\n", len(models.PaperModels()), *addr)
+	fmt.Printf("bomwsrv: %d models loaded on %d node(s), serving on %s\n", len(models.PaperModels()), *nodes, *addr)
 
 	select {
 	case err := <-errCh:

@@ -1,0 +1,537 @@
+// Package cluster is the scale-out tier over internal/core: N serving
+// nodes — each one scheduler + pipeline + device set, the paper's whole
+// single-box system — behind a routing front-end with pluggable
+// policies, per-node health aggregation and fleet-wide statistics. The
+// single box of the paper becomes a replaceable unit: the router picks a
+// node per request, fails over when a node sheds or dies, evicts nodes
+// whose health collapses (composing PR 3's device-level quarantine into
+// node-level eviction) and readmits them when they recover.
+//
+// All nodes share one virtual clock, so fleet-wide latency, energy and
+// SLO accounting stay on a single time axis exactly as they do inside
+// one node.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bomw/internal/core"
+)
+
+// Node is the narrow surface the cluster routes over — what
+// internal/core's Node provides: admission, the deadline predictor, a
+// cheap load signal, stats/health snapshots and lifecycle control.
+type Node interface {
+	Name() string
+	Submit(ctx context.Context, req core.PipelineRequest) (*core.Future, error)
+	FeasibleWithin(model string, batch int, deadline, now time.Duration) (bool, time.Duration, error)
+	Load() int64
+	Stats() core.NodeStats
+	Health() core.NodeHealth
+	Drain()
+	Kill()
+}
+
+// Sentinel errors of the routing tier.
+var (
+	// ErrNoReadyNodes is returned by Submit when every node is evicted —
+	// the fleet-level load-shedding signal (HTTP servers translate it to
+	// 503, like ErrAdmissionFull).
+	ErrNoReadyNodes = errors.New("cluster: no ready nodes")
+	// ErrUnknownNode names a node the cluster does not have.
+	ErrUnknownNode = errors.New("cluster: unknown node")
+)
+
+// Config parameterises the cluster.
+type Config struct {
+	// Policy orders candidate nodes per request. Defaults to round-robin.
+	Policy Policy
+	// Clock is the fleet's shared virtual clock. Every node's pipeline
+	// should be built on the same function. Defaults to wall-clock time
+	// since the cluster was created (the serving mapping).
+	Clock func() time.Duration
+	// MaxAttempts bounds how many nodes one Submit may try: the policy's
+	// first choice plus failovers onto the next-ranked nodes when a node
+	// sheds (ErrAdmissionFull), predicts an SLO miss
+	// (ErrDeadlineInfeasible) or is down. Defaults to 3.
+	MaxAttempts int
+	// EvictAfter is the consecutive hard submit failures (node down,
+	// draining, pipeline closed) after which a node is evicted from
+	// routing. Defaults to 2.
+	EvictAfter int64
+	// SweepEvery runs the health sweep once per this many submissions:
+	// nodes whose NodeHealth reports not-Ready (killed, drained, or all
+	// devices quarantined) are evicted, and evicted nodes that report
+	// Ready again are readmitted. Deliberately submission-driven rather
+	// than timer-driven so the cluster stays on the virtual clock and
+	// replays deterministically. Defaults to 64; negative disables.
+	SweepEvery int64
+	// Seed parameterises hash-based routing policies built by name.
+	Seed int64
+}
+
+func (c *Config) fillDefaults() {
+	if c.Policy == nil {
+		c.Policy = NewRoundRobin()
+	}
+	if c.Clock == nil {
+		//bomw:wallclock the default fleet clock IS the wall clock anchored at cluster creation, mirroring PipelineConfig.Clock; simulated callers inject their own
+		start := time.Now()
+		//bomw:wallclock see above: wall time since creation is the default virtual-time mapping
+		c.Clock = func() time.Duration { return time.Since(start) }
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.EvictAfter <= 0 {
+		c.EvictAfter = 2
+	}
+	if c.SweepEvery == 0 {
+		c.SweepEvery = 64
+	}
+}
+
+// member is one node plus the cluster-side routing state around it.
+type member struct {
+	node Node
+	idx  int
+
+	evicted   atomic.Bool  // out of the routing set
+	hardFails atomic.Int64 // consecutive down/draining submit failures
+	routed    atomic.Int64 // requests this node accepted
+	rerouted  atomic.Int64 // requests accepted after another node refused
+}
+
+// Cluster is N nodes behind a routing policy on a shared virtual clock.
+type Cluster struct {
+	cfg     Config
+	members []*member
+	byName  map[string]*member
+
+	submits      atomic.Int64 // Submit calls (drives the health sweep)
+	routeFails   atomic.Int64 // submits no node accepted
+	evictions    atomic.Int64
+	readmissions atomic.Int64
+	sweeping     atomic.Bool
+	closeOnce    sync.Once
+}
+
+// New builds a cluster over pre-built nodes. Node names must be unique —
+// they are the fleet's operator-facing identity (drain/evict/readmit
+// target names, stats keys).
+func New(nodes []Node, cfg Config) (*Cluster, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: need at least one node")
+	}
+	cfg.fillDefaults()
+	c := &Cluster{cfg: cfg, byName: make(map[string]*member, len(nodes))}
+	for i, n := range nodes {
+		if n == nil {
+			return nil, fmt.Errorf("cluster: node %d is nil", i)
+		}
+		if _, dup := c.byName[n.Name()]; dup {
+			return nil, fmt.Errorf("cluster: duplicate node name %q", n.Name())
+		}
+		m := &member{node: n, idx: i}
+		c.members = append(c.members, m)
+		c.byName[n.Name()] = m
+	}
+	return c, nil
+}
+
+// Build replicates a trained template scheduler into n nodes named
+// node0..node{n-1} — node0 serves on the template itself, the rest on
+// Scheduler.Replica copies (shared classifiers, fresh devices) — and
+// wires them into a cluster on one shared clock. pcfg.Clock is
+// overridden with the cluster clock (cfg.Clock, defaulting to wall time
+// since creation).
+func Build(template *core.Scheduler, n int, seed int64, pcfg core.PipelineConfig, cfg Config) (*Cluster, []*core.Node, error) {
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("cluster: need at least one node, got %d", n)
+	}
+	cfg.fillDefaults()
+	pcfg.Clock = cfg.Clock
+	scheds := []*core.Scheduler{template}
+	for i := 1; i < n; i++ {
+		rep, err := template.Replica(seed)
+		if err != nil {
+			return nil, nil, fmt.Errorf("cluster: building node%d: %w", i, err)
+		}
+		scheds = append(scheds, rep)
+	}
+	var coreNodes []*core.Node
+	var nodes []Node
+	for i, s := range scheds {
+		nd := core.NewNode(fmt.Sprintf("node%d", i), s, pcfg)
+		coreNodes = append(coreNodes, nd)
+		nodes = append(nodes, nd)
+	}
+	c, err := New(nodes, cfg)
+	if err != nil {
+		for _, nd := range coreNodes {
+			nd.Drain()
+		}
+		return nil, nil, err
+	}
+	return c, coreNodes, nil
+}
+
+// Policy returns the active routing policy's name.
+func (c *Cluster) Policy() string { return c.cfg.Policy.Name() }
+
+// Clock returns the fleet's shared virtual clock.
+func (c *Cluster) Clock() func() time.Duration { return c.cfg.Clock }
+
+// Size returns the fleet size (including evicted nodes).
+func (c *Cluster) Size() int { return len(c.members) }
+
+// NodeNames lists the fleet's node names in index order.
+func (c *Cluster) NodeNames() []string {
+	out := make([]string, len(c.members))
+	for i, m := range c.members {
+		out[i] = m.node.Name()
+	}
+	return out
+}
+
+// eligible snapshots the current routing set as policy views.
+func (c *Cluster) eligible() ([]*member, []NodeView) {
+	ms := make([]*member, 0, len(c.members))
+	views := make([]NodeView, 0, len(c.members))
+	for _, m := range c.members {
+		if m.evicted.Load() {
+			continue
+		}
+		ms = append(ms, m)
+		views = append(views, NodeView{Index: m.idx, Name: m.node.Name(), Load: m.node.Load(), node: m.node})
+	}
+	return ms, views
+}
+
+// slo mirrors the node pipelines' SLO resolution for routing purposes:
+// the request's own deadline when positive, no SLO otherwise. (Per-model
+// defaults live inside each node's pipeline config; the router only sees
+// the explicit deadline.)
+func routeSLO(req core.PipelineRequest) time.Duration {
+	if req.Deadline > 0 {
+		return req.Deadline
+	}
+	return 0
+}
+
+// Submit routes one request to a node and admits it there. The policy
+// orders the eligible nodes; the router tries up to MaxAttempts of them,
+// failing over past nodes that shed (ErrAdmissionFull), predict an SLO
+// miss (ErrDeadlineInfeasible) or are down (evicting the latter after
+// EvictAfter consecutive refusals). Validation errors (unknown model or
+// policy, bad batch) are identical on every replica and surface
+// immediately. On success the returned future resolves exactly once —
+// the node pipeline's contract, unchanged by routing.
+func (c *Cluster) Submit(ctx context.Context, req core.PipelineRequest) (*core.Future, error) {
+	total := c.submits.Add(1)
+	if c.cfg.SweepEvery > 0 && total%c.cfg.SweepEvery == 0 {
+		c.sweep()
+	}
+	size := req.Batch
+	if req.Input != nil && req.Input.Rank() >= 1 {
+		size = req.Input.Dim(0)
+	}
+	ms, views := c.eligible()
+	if len(ms) == 0 {
+		c.routeFails.Add(1)
+		return nil, ErrNoReadyNodes
+	}
+	order := c.cfg.Policy.Route(Request{
+		Model: req.Model,
+		Batch: size,
+		SLO:   routeSLO(req),
+		Now:   c.cfg.Clock(),
+	}, views)
+	attempts := c.cfg.MaxAttempts
+	if attempts > len(order) {
+		attempts = len(order)
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		pos := order[i]
+		if pos < 0 || pos >= len(ms) {
+			continue // defensive: policy returned an out-of-range position
+		}
+		m := ms[pos]
+		fut, err := m.node.Submit(ctx, req)
+		if err == nil {
+			m.hardFails.Store(0)
+			m.routed.Add(1)
+			if i > 0 {
+				m.rerouted.Add(1)
+			}
+			return fut, nil
+		}
+		lastErr = err
+		switch {
+		case errors.Is(err, core.ErrAdmissionFull), errors.Is(err, core.ErrDeadlineInfeasible):
+			// Overload, not failure: another node may have room.
+			continue
+		case errors.Is(err, core.ErrNodeDraining), errors.Is(err, core.ErrNodeDown), errors.Is(err, core.ErrPipelineClosed):
+			if m.hardFails.Add(1) >= c.cfg.EvictAfter {
+				c.evict(m)
+			}
+			continue
+		default:
+			return nil, err
+		}
+	}
+	c.routeFails.Add(1)
+	return nil, lastErr
+}
+
+// Do submits a request and waits for its completion.
+func (c *Cluster) Do(ctx context.Context, req core.PipelineRequest) (core.Completion, error) {
+	fut, err := c.Submit(ctx, req)
+	if err != nil {
+		return core.Completion{}, err
+	}
+	return fut.Wait(ctx)
+}
+
+// evict removes a member from the routing set (idempotent).
+func (c *Cluster) evict(m *member) {
+	if m.evicted.CompareAndSwap(false, true) {
+		c.evictions.Add(1)
+	}
+}
+
+// readmit returns a member to the routing set (idempotent).
+func (c *Cluster) readmit(m *member) {
+	if m.evicted.CompareAndSwap(true, false) {
+		m.hardFails.Store(0)
+		c.readmissions.Add(1)
+	}
+}
+
+// sweep aggregates node health into membership: routing members whose
+// node reports not-Ready (killed, drained, every device quarantined) are
+// evicted, and evicted nodes that report Ready again — a manual
+// readmit-worthy recovery, or device probes that cleared the quarantine
+// — are readmitted. At most one sweep runs at a time; callers that lose
+// the race skip it.
+func (c *Cluster) sweep() {
+	if !c.sweeping.CompareAndSwap(false, true) {
+		return
+	}
+	defer c.sweeping.Store(false)
+	for _, m := range c.members {
+		h := m.node.Health()
+		switch {
+		case !h.Ready && !m.evicted.Load():
+			c.evict(m)
+		case h.Ready && m.evicted.Load():
+			c.readmit(m)
+		}
+	}
+}
+
+// Sweep runs one health sweep immediately (the submission-driven sweep
+// exposed for operators and tests).
+func (c *Cluster) Sweep() { c.sweep() }
+
+// findMember resolves an operator-facing node name.
+func (c *Cluster) findMember(name string) (*member, error) {
+	m, ok := c.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q (have %v)", ErrUnknownNode, name, c.NodeNames())
+	}
+	return m, nil
+}
+
+// Drain removes a node from routing and drains it: every request it had
+// accepted resolves before Drain returns. The order matters — eviction
+// first, so the router stops picking the node before its pipeline begins
+// refusing work, extending the single-node graceful-drain guarantee to
+// the fleet.
+func (c *Cluster) Drain(name string) error {
+	m, err := c.findMember(name)
+	if err != nil {
+		return err
+	}
+	c.evict(m)
+	m.node.Drain()
+	return nil
+}
+
+// Evict removes a node from routing without touching the node — the
+// operator's "stop sending traffic here" lever. The node keeps serving
+// what it already accepted.
+func (c *Cluster) Evict(name string) error {
+	m, err := c.findMember(name)
+	if err != nil {
+		return err
+	}
+	c.evict(m)
+	return nil
+}
+
+// Readmit returns an evicted node to the routing set, refusing nodes
+// that are not actually Ready (killed, drained, all devices
+// quarantined) — readmission must not resurrect a dead node.
+func (c *Cluster) Readmit(name string) error {
+	m, err := c.findMember(name)
+	if err != nil {
+		return err
+	}
+	if h := m.node.Health(); !h.Ready {
+		return fmt.Errorf("cluster: node %q is not ready (%s, %d/%d devices quarantined)",
+			name, h.State, h.Quarantined, h.Devices)
+	}
+	c.readmit(m)
+	return nil
+}
+
+// Kill fail-stops a node (the failure drill): it is evicted from routing
+// and refuses all new work immediately; requests it had already accepted
+// still resolve.
+func (c *Cluster) Kill(name string) error {
+	m, err := c.findMember(name)
+	if err != nil {
+		return err
+	}
+	c.evict(m)
+	m.node.Kill()
+	return nil
+}
+
+// Close drains every node concurrently; after Close returns, every
+// future the fleet ever handed out has resolved. Idempotent.
+func (c *Cluster) Close() {
+	c.closeOnce.Do(func() {
+		var wg sync.WaitGroup
+		for _, m := range c.members {
+			c.evict(m)
+			wg.Add(1)
+			go func(m *member) {
+				defer wg.Done()
+				m.node.Drain()
+			}(m)
+		}
+		wg.Wait()
+	})
+}
+
+// NodeSnapshot is one node's row in the fleet stats.
+type NodeSnapshot struct {
+	Name    string
+	State   string
+	Evicted bool
+	// Routed/Rerouted count router decisions that landed here; Rerouted
+	// is the subset accepted after a higher-ranked node refused.
+	Routed   int64
+	Rerouted int64
+	// Pipeline accounting (per node).
+	Submitted  int64
+	Completed  int64
+	Shed       int64
+	Infeasible int64
+	Cancelled  int64
+	Expired    int64
+	Failed     int64
+	Batches    int64
+	InFlight   int64
+	// SLOAttainment is ok completions over admitted requests (1 when
+	// nothing was admitted yet).
+	SLOAttainment float64
+	// Device failure domain, aggregated.
+	Devices            int
+	QuarantinedDevices int
+	DegradedDevices    int
+}
+
+// FleetStats aggregates the fleet: routing activity, membership, and the
+// sum of every node's serving counters.
+type FleetStats struct {
+	Policy string
+	Nodes  int
+	Ready  int
+
+	Submits       int64 // routing attempts (Submit calls)
+	RouteFailures int64 // submits no node accepted
+	Evictions     int64
+	Readmissions  int64
+
+	// Aggregated serving counters (sums over nodes).
+	Submitted  int64
+	Completed  int64
+	Shed       int64
+	Infeasible int64
+	Cancelled  int64
+	Expired    int64
+	Failed     int64
+	Batches    int64
+	InFlight   int64
+	// SLOAttainment is fleet-wide ok completions over admitted requests.
+	SLOAttainment float64
+
+	PerNode []NodeSnapshot
+}
+
+// attainment folds (submitted, cancelled+expired+failed) into a goodput
+// ratio, defaulting to 1 when nothing was admitted.
+func attainment(submitted, bad int64) float64 {
+	if submitted <= 0 {
+		return 1
+	}
+	return float64(submitted-bad) / float64(submitted)
+}
+
+// Stats snapshots the fleet.
+func (c *Cluster) Stats() FleetStats {
+	st := FleetStats{Policy: c.cfg.Policy.Name(), Nodes: len(c.members)}
+	st.Submits = c.submits.Load()
+	st.RouteFailures = c.routeFails.Load()
+	st.Evictions = c.evictions.Load()
+	st.Readmissions = c.readmissions.Load()
+	for _, m := range c.members {
+		ns := m.node.Stats()
+		h := m.node.Health()
+		p := ns.Pipeline
+		snap := NodeSnapshot{
+			Name:               ns.Name,
+			State:              ns.State.String(),
+			Evicted:            m.evicted.Load(),
+			Routed:             m.routed.Load(),
+			Rerouted:           m.rerouted.Load(),
+			Submitted:          p.Submitted,
+			Completed:          p.Completed,
+			Shed:               p.Shed,
+			Infeasible:         p.Infeasible,
+			Cancelled:          p.Cancelled,
+			Expired:            p.Expired,
+			Failed:             p.Failed,
+			Batches:            p.Batches,
+			InFlight:           p.InFlight,
+			SLOAttainment:      attainment(p.Submitted, p.Cancelled+p.Expired+p.Failed),
+			Devices:            h.Devices,
+			QuarantinedDevices: h.Quarantined,
+			DegradedDevices:    h.Degraded,
+		}
+		if !snap.Evicted {
+			st.Ready++
+		}
+		st.Submitted += p.Submitted
+		st.Completed += p.Completed
+		st.Shed += p.Shed
+		st.Infeasible += p.Infeasible
+		st.Cancelled += p.Cancelled
+		st.Expired += p.Expired
+		st.Failed += p.Failed
+		st.Batches += p.Batches
+		st.InFlight += p.InFlight
+		st.PerNode = append(st.PerNode, snap)
+	}
+	st.SLOAttainment = attainment(st.Submitted, st.Cancelled+st.Expired+st.Failed)
+	return st
+}

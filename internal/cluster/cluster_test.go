@@ -1,0 +1,456 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bomw/internal/core"
+	"bomw/internal/models"
+)
+
+// ---- router behaviour over scripted fakes ------------------------------
+
+func fakeFleet(t *testing.T, n int, cfg Config) (*Cluster, []*fakeNode) {
+	t.Helper()
+	fakes := make([]*fakeNode, n)
+	nodes := make([]Node, n)
+	for i := range fakes {
+		fakes[i] = newFakeNode(fmt.Sprintf("node%d", i), 0)
+		nodes[i] = fakes[i]
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = func() time.Duration { return 0 }
+	}
+	c, err := New(nodes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, fakes
+}
+
+func TestSubmitFailsOverPastSheddingNode(t *testing.T) {
+	c, fakes := fakeFleet(t, 3, Config{})
+	fakes[0].setErr(core.ErrAdmissionFull)
+	// Round-robin offers node0 first; the router must land on node1.
+	if _, err := c.Submit(context.Background(), core.PipelineRequest{Model: "simple", Batch: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if fakes[1].acceptCount() != 1 {
+		t.Fatalf("failover target node1 accepted %d, want 1", fakes[1].acceptCount())
+	}
+	st := c.Stats()
+	if st.Evictions != 0 {
+		t.Fatalf("overload must not evict: %+v", st)
+	}
+	if st.PerNode[1].Rerouted != 1 {
+		t.Fatalf("reroute not accounted: %+v", st.PerNode[1])
+	}
+}
+
+func TestSubmitEvictsNodeAfterConsecutiveHardFailures(t *testing.T) {
+	c, fakes := fakeFleet(t, 3, Config{EvictAfter: 2, SweepEvery: -1})
+	fakes[0].setErr(core.ErrNodeDown)
+	for k := 0; k < 6; k++ {
+		if _, err := c.Submit(context.Background(), core.PipelineRequest{Model: "simple", Batch: 4}); err != nil {
+			t.Fatalf("submit %d: %v", k, err)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || !st.PerNode[0].Evicted {
+		t.Fatalf("dead node not evicted: %+v", st)
+	}
+	if st.Ready != 2 {
+		t.Fatalf("ready = %d, want 2", st.Ready)
+	}
+	// Post-eviction traffic flows only to the survivors.
+	accepted := fakes[1].acceptCount() + fakes[2].acceptCount()
+	if accepted != 6 {
+		t.Fatalf("survivors accepted %d of 6", accepted)
+	}
+}
+
+func TestSubmitReturnsTerminalErrorsImmediately(t *testing.T) {
+	c, fakes := fakeFleet(t, 3, Config{})
+	terminal := errors.New("core: unknown model")
+	fakes[0].setErr(terminal)
+	fakes[1].setErr(terminal)
+	_, err := c.Submit(context.Background(), core.PipelineRequest{Model: "nope", Batch: 4})
+	if !errors.Is(err, terminal) {
+		t.Fatalf("err = %v, want the terminal error", err)
+	}
+	// Identical on every replica: the router must not have retried.
+	if got := fakes[0].acceptCount() + fakes[1].acceptCount() + fakes[2].acceptCount(); got != 0 {
+		t.Fatalf("terminal error was retried onto a node: %d accepts", got)
+	}
+}
+
+func TestSubmitNoReadyNodes(t *testing.T) {
+	c, _ := fakeFleet(t, 2, Config{})
+	if err := c.Evict("node0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Evict("node1"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.Submit(context.Background(), core.PipelineRequest{Model: "simple", Batch: 4})
+	if !errors.Is(err, ErrNoReadyNodes) {
+		t.Fatalf("err = %v, want ErrNoReadyNodes", err)
+	}
+	if st := c.Stats(); st.RouteFailures != 1 {
+		t.Fatalf("route failure not accounted: %+v", st)
+	}
+}
+
+func TestSweepEvictsUnhealthyAndReadmitsRecovered(t *testing.T) {
+	c, fakes := fakeFleet(t, 3, Config{SweepEvery: -1})
+	// node2's health collapses (e.g. every device quarantined).
+	fakes[2].mu.Lock()
+	fakes[2].ready = false
+	fakes[2].mu.Unlock()
+	c.Sweep()
+	st := c.Stats()
+	if !st.PerNode[2].Evicted || st.Evictions != 1 {
+		t.Fatalf("unhealthy node not evicted: %+v", st)
+	}
+	// It recovers; the next sweep readmits it.
+	fakes[2].mu.Lock()
+	fakes[2].ready = true
+	fakes[2].mu.Unlock()
+	c.Sweep()
+	st = c.Stats()
+	if st.PerNode[2].Evicted || st.Readmissions != 1 {
+		t.Fatalf("recovered node not readmitted: %+v", st)
+	}
+}
+
+func TestManualLifecycleOps(t *testing.T) {
+	c, fakes := fakeFleet(t, 2, Config{})
+	if err := c.Drain("node1"); err != nil {
+		t.Fatal(err)
+	}
+	if fakes[1].drains != 1 {
+		t.Fatalf("drain not delivered: %d", fakes[1].drains)
+	}
+	// A drained fake reports not-Ready, so readmission must refuse it.
+	if err := c.Readmit("node1"); err == nil {
+		t.Fatal("readmitted a drained node")
+	}
+	if err := c.Kill("node0"); err != nil {
+		t.Fatal(err)
+	}
+	if fakes[0].kills != 1 {
+		t.Fatalf("kill not delivered: %d", fakes[0].kills)
+	}
+	for _, op := range []func(string) error{c.Drain, c.Evict, c.Readmit, c.Kill} {
+		if err := op("node9"); !errors.Is(err, ErrUnknownNode) {
+			t.Fatalf("unknown node = %v, want ErrUnknownNode", err)
+		}
+	}
+}
+
+func TestNewRejectsBadFleets(t *testing.T) {
+	if _, err := New(nil, Config{}); err == nil {
+		t.Fatal("empty fleet accepted")
+	}
+	a := newFakeNode("same", 0)
+	b := newFakeNode("same", 0)
+	if _, err := New([]Node{a, b}, Config{}); err == nil {
+		t.Fatal("duplicate names accepted")
+	}
+	if _, err := New([]Node{a, nil}, Config{}); err == nil {
+		t.Fatal("nil node accepted")
+	}
+}
+
+// ---- integration over real nodes ---------------------------------------
+
+// clusterTemplate builds one trained template scheduler for the whole
+// test package (coarse batch grid, one rep, the simple model loaded).
+var (
+	tmplOnce sync.Once
+	tmpl     *core.Scheduler
+	tmplErr  error
+)
+
+func templateScheduler(t testing.TB) *core.Scheduler {
+	t.Helper()
+	tmplOnce.Do(func() {
+		tmpl, tmplErr = core.New(core.Config{
+			TrainModels: models.PaperModels(),
+			Batches:     []int{8, 512, 8192, 65536},
+			Reps:        1,
+		})
+		if tmplErr != nil {
+			return
+		}
+		tmplErr = tmpl.LoadModel(models.Simple(), 1)
+		if tmplErr == nil {
+			tmplErr = tmpl.LoadModel(models.MnistSmall(), 1)
+		}
+	})
+	if tmplErr != nil {
+		t.Fatal(tmplErr)
+	}
+	return tmpl
+}
+
+// realCluster stands up n real nodes from the shared template.
+func realCluster(t testing.TB, n int, cfg Config, pcfg core.PipelineConfig) *Cluster {
+	t.Helper()
+	if pcfg.ProbeInterval == 0 {
+		pcfg.ProbeInterval = -1
+	}
+	c, _, err := Build(templateScheduler(t), n, 1, pcfg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestClusterDrainUnderLoad is the drain-ordering regression test at the
+// fleet level: clients hammer the router while one node drains mid-run.
+// The drain must not deadlock against the router's submissions, every
+// future the fleet handed out must resolve, and the drained node's
+// accepted tail must complete rather than drop.
+func TestClusterDrainUnderLoad(t *testing.T) {
+	pol, _ := PolicyByName("least-loaded", 1)
+	c := realCluster(t, 3, Config{Policy: pol}, core.PipelineConfig{
+		Window: 200 * time.Microsecond, MaxBatch: 16,
+	})
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	const clients, perClient = 8, 60
+	var accepted, resolved, refused atomic.Int64
+	errCh := make(chan error, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < perClient; k++ {
+				fut, err := c.Submit(ctx, core.PipelineRequest{Model: "simple", Policy: core.BestThroughput, Batch: 4})
+				switch {
+				case errors.Is(err, core.ErrAdmissionFull), errors.Is(err, ErrNoReadyNodes),
+					errors.Is(err, core.ErrNodeDraining), errors.Is(err, core.ErrNodeDown):
+					refused.Add(1)
+					continue
+				case err != nil:
+					errCh <- err
+					return
+				}
+				accepted.Add(1)
+				if _, err := fut.Wait(ctx); err != nil {
+					errCh <- err
+					return
+				}
+				resolved.Add(1)
+			}
+		}()
+	}
+	time.Sleep(3 * time.Millisecond)
+	drained := make(chan error, 1)
+	go func() { drained <- c.Drain("node1") }()
+	wg.Wait()
+	select {
+	case err := <-drained:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-ctx.Done():
+		t.Fatal("drain deadlocked against the router")
+	}
+	close(errCh)
+	for err := range errCh {
+		t.Fatalf("client failed: %v", err)
+	}
+	if accepted.Load() != resolved.Load() {
+		t.Fatalf("accepted %d futures, resolved %d — the drain dropped in-flight work", accepted.Load(), resolved.Load())
+	}
+	st := c.Stats()
+	if st.Submitted != accepted.Load() {
+		t.Fatalf("fleet admitted %d, clients saw %d accepts", st.Submitted, accepted.Load())
+	}
+	if st.Completed != st.Submitted {
+		t.Fatalf("fleet dropped futures: %+v", st)
+	}
+	t.Logf("accepted=%d refused=%d drained-node served=%d", accepted.Load(), refused.Load(), st.PerNode[1].Submitted)
+}
+
+// TestClusterSmoke is the CI smoke drill: an 8-node fleet under
+// concurrent load survives one mid-run node kill — the router evicts the
+// dead node, traffic fails over, every accepted future resolves, and the
+// fleet stays serviceable throughout.
+func TestClusterSmoke(t *testing.T) {
+	pol, _ := PolicyByName("least-loaded", 1)
+	c := realCluster(t, 8, Config{Policy: pol, SweepEvery: 50}, core.PipelineConfig{
+		Window: 200 * time.Microsecond, MaxBatch: 16,
+	})
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	const clients, perClient = 8, 50
+	var accepted, resolved atomic.Int64
+	errCh := make(chan error, clients)
+	var wg sync.WaitGroup
+	killAt := int64(clients * perClient / 3)
+	var killOnce sync.Once
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < perClient; k++ {
+				if accepted.Load() == killAt {
+					killOnce.Do(func() {
+						if err := c.Kill("node3"); err != nil {
+							errCh <- err
+						}
+					})
+				}
+				fut, err := c.Submit(ctx, core.PipelineRequest{Model: "simple", Policy: core.BestThroughput, Batch: 4})
+				switch {
+				case errors.Is(err, core.ErrAdmissionFull), errors.Is(err, ErrNoReadyNodes),
+					errors.Is(err, core.ErrNodeDraining), errors.Is(err, core.ErrNodeDown):
+					continue
+				case err != nil:
+					errCh <- err
+					return
+				}
+				accepted.Add(1)
+				if _, err := fut.Wait(ctx); err != nil {
+					errCh <- err
+					return
+				}
+				resolved.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatalf("smoke client failed: %v", err)
+	}
+	if accepted.Load() != resolved.Load() {
+		t.Fatalf("accepted %d, resolved %d", accepted.Load(), resolved.Load())
+	}
+	st := c.Stats()
+	if st.Ready != 7 {
+		t.Fatalf("ready = %d after one kill, want 7 (%+v)", st.Ready, st.PerNode)
+	}
+	if !st.PerNode[3].Evicted || st.PerNode[3].State != "killed" {
+		t.Fatalf("killed node not evicted: %+v", st.PerNode[3])
+	}
+	if st.Completed != st.Submitted {
+		t.Fatalf("fleet dropped futures: %+v", st)
+	}
+	// The fleet must have kept serving: the survivors absorbed the load.
+	var survivors int64
+	for i, ns := range st.PerNode {
+		if i != 3 {
+			survivors += ns.Submitted
+		}
+	}
+	if survivors == 0 || accepted.Load() < int64(clients*perClient)*8/10 {
+		t.Fatalf("fleet did not keep serving through the kill: accepted=%d survivors=%d", accepted.Load(), survivors)
+	}
+}
+
+// TestSoakClusterTwoKills is the fleet acceptance soak: a 64-node fleet
+// under least-loaded routing serves a heterogeneous feasible-SLO trace,
+// two nodes are killed mid-run, and the fleet's SLO attainment must stay
+// within 5 percentage points of a no-fault baseline over the same trace
+// — node death costs routing capacity, not correctness.
+func TestSoakClusterTwoKills(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	run := func(kills []string) (attainment float64, st FleetStats) {
+		pol, _ := PolicyByName("least-loaded", 1)
+		c := realCluster(t, 64, Config{Policy: pol, SweepEvery: 200}, core.PipelineConfig{
+			Window: 200 * time.Microsecond, MaxBatch: 32,
+		})
+		defer c.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+		defer cancel()
+		const clients, perClient = 16, 80
+		mods := []string{"simple", "mnist-small"}
+		var attempts, ok, failed atomic.Int64
+		errCh := make(chan error, clients)
+		var killOnce sync.Once
+		killAt := int64(clients * perClient / 2)
+		var wg sync.WaitGroup
+		for i := 0; i < clients; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				for k := 0; k < perClient; k++ {
+					if len(kills) > 0 && attempts.Load() >= killAt {
+						killOnce.Do(func() {
+							for _, name := range kills {
+								if err := c.Kill(name); err != nil {
+									errCh <- err
+								}
+							}
+						})
+					}
+					attempts.Add(1)
+					fut, err := c.Submit(ctx, core.PipelineRequest{
+						Model:    mods[(i+k)%len(mods)],
+						Policy:   core.BestThroughput,
+						Batch:    1 << (k % 4),
+						Deadline: 500 * time.Millisecond, // generous, feasible
+					})
+					switch {
+					case errors.Is(err, core.ErrAdmissionFull), errors.Is(err, core.ErrDeadlineInfeasible),
+						errors.Is(err, ErrNoReadyNodes), errors.Is(err, core.ErrNodeDraining),
+						errors.Is(err, core.ErrNodeDown):
+						failed.Add(1)
+						continue
+					case err != nil:
+						errCh <- err
+						return
+					}
+					comp, err := fut.Wait(ctx)
+					switch {
+					case err != nil:
+						errCh <- err
+						return
+					case comp.Err != nil:
+						failed.Add(1)
+					default:
+						ok.Add(1)
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+		close(errCh)
+		for err := range errCh {
+			t.Fatalf("soak client failed: %v", err)
+		}
+		return float64(ok.Load()) / float64(attempts.Load()), c.Stats()
+	}
+
+	baseAtt, baseStats := run(nil)
+	faultAtt, faultStats := run([]string{"node7", "node23"})
+	t.Logf("baseline attainment %.4f (fleet %+v ready=%d)", baseAtt, baseStats.SLOAttainment, baseStats.Ready)
+	t.Logf("two-kill attainment %.4f (fleet %+v ready=%d evictions=%d)",
+		faultAtt, faultStats.SLOAttainment, faultStats.Ready, faultStats.Evictions)
+	if faultStats.Ready != 62 {
+		t.Fatalf("ready = %d after two kills, want 62", faultStats.Ready)
+	}
+	if faultAtt < baseAtt-0.05 {
+		t.Fatalf("two-kill attainment %.4f fell more than 5%% below baseline %.4f", faultAtt, baseAtt)
+	}
+	// Accounting holds fleet-wide through the kills.
+	if faultStats.Completed != faultStats.Submitted {
+		t.Fatalf("fleet dropped futures through the kills: %+v", faultStats)
+	}
+}

@@ -1,0 +1,227 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Request carries the routing-relevant facts of one submission: what is
+// being served, how big it is, the effective SLO (0 = none) and the
+// fleet's virtual now. Policies see only this plus the eligible node
+// views — never the payload.
+type Request struct {
+	Model string
+	Batch int
+	SLO   time.Duration
+	Now   time.Duration
+}
+
+// NodeView is the per-node snapshot a routing policy reads: a stable
+// fleet index, the node's name, its instantaneous load, and the node's
+// own completion predictor for slack scoring.
+type NodeView struct {
+	Index int
+	Name  string
+	Load  int64
+	node  Node
+}
+
+// Predict returns the node's best predicted completion latency for the
+// request under the given deadline — the same model the node's own
+// admission control uses (Scheduler.FeasibleWithin).
+func (v NodeView) Predict(model string, batch int, deadline, now time.Duration) (time.Duration, error) {
+	_, predicted, err := v.node.FeasibleWithin(model, batch, deadline, now)
+	return predicted, err
+}
+
+// Policy orders the eligible nodes for one request. Route returns
+// indices INTO views in preference order; the router tries them in turn
+// (bounded by Config.MaxAttempts), so position 1 is the failover target
+// of position 0. Implementations must be deterministic given their own
+// state and the inputs — the cluster's seeded-replay guarantee (same
+// trace, same seed ⇒ identical routing decisions) rests on it.
+type Policy interface {
+	Name() string
+	Route(req Request, views []NodeView) []int
+}
+
+// PolicyByName builds a routing policy from its CLI/API name:
+// round-robin, least-loaded, model-affinity or weighted-scoring. The
+// seed parameterises hash-based policies (model-affinity's placement
+// salt) so distinct fleets can disagree about model homes while one
+// fleet stays deterministic.
+func PolicyByName(name string, seed int64) (Policy, error) {
+	switch name {
+	case "round-robin", "":
+		return NewRoundRobin(), nil
+	case "least-loaded":
+		return LeastLoaded{}, nil
+	case "model-affinity":
+		return ModelAffinity{Seed: seed}, nil
+	case "weighted-scoring":
+		return WeightedScoring{}, nil
+	default:
+		return nil, fmt.Errorf("cluster: unknown routing policy %q (want round-robin, least-loaded, model-affinity or weighted-scoring)", name)
+	}
+}
+
+// PolicyNames lists the built-in routing policies.
+func PolicyNames() []string {
+	return []string{"round-robin", "least-loaded", "model-affinity", "weighted-scoring"}
+}
+
+// RoundRobin rotates a cursor over the eligible nodes: request k starts
+// at position k mod n and wraps, so load spreads uniformly regardless of
+// node state, and the failover order continues the rotation.
+type RoundRobin struct {
+	cursor atomic.Uint64
+}
+
+// NewRoundRobin builds a round-robin policy with its cursor at zero.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
+
+// Name implements Policy.
+func (*RoundRobin) Name() string { return "round-robin" }
+
+// Route implements Policy.
+func (p *RoundRobin) Route(_ Request, views []NodeView) []int {
+	n := len(views)
+	if n == 0 {
+		return nil
+	}
+	start := int((p.cursor.Add(1) - 1) % uint64(n))
+	order := make([]int, n)
+	for i := range order {
+		order[i] = (start + i) % n
+	}
+	return order
+}
+
+// LeastLoaded orders nodes by instantaneous occupancy (admission queue
+// plus in-flight batches), ties broken by fleet index so the order is
+// deterministic.
+type LeastLoaded struct{}
+
+// Name implements Policy.
+func (LeastLoaded) Name() string { return "least-loaded" }
+
+// Route implements Policy.
+func (LeastLoaded) Route(_ Request, views []NodeView) []int {
+	order := identity(len(views))
+	sort.SliceStable(order, func(a, b int) bool {
+		va, vb := views[order[a]], views[order[b]]
+		if va.Load != vb.Load {
+			return va.Load < vb.Load
+		}
+		return va.Index < vb.Index
+	})
+	return order
+}
+
+// ModelAffinity routes each model to a stable "home" node via rendezvous
+// (highest-random-weight) hashing over node names: the same model always
+// lands on the same node while that node is eligible — concentrating a
+// model's working set (warm caches, learned queue estimates) — and when
+// the home node drains or dies, exactly that model's traffic moves to
+// its next-highest node while every other model's home is undisturbed.
+// The failover order IS the descending score order.
+type ModelAffinity struct {
+	// Seed salts the placement hash, decorrelating model homes across
+	// fleets that share node names.
+	Seed int64
+}
+
+// Name implements Policy.
+func (ModelAffinity) Name() string { return "model-affinity" }
+
+// Route implements Policy.
+func (p ModelAffinity) Route(req Request, views []NodeView) []int {
+	scores := make([]uint64, len(views))
+	for i, v := range views {
+		scores[i] = rendezvousScore(req.Model, v.Name, p.Seed)
+	}
+	order := identity(len(views))
+	sort.SliceStable(order, func(a, b int) bool {
+		sa, sb := scores[order[a]], scores[order[b]]
+		if sa != sb {
+			return sa > sb
+		}
+		return views[order[a]].Index < views[order[b]].Index
+	})
+	return order
+}
+
+func rendezvousScore(model, node string, seed int64) uint64 {
+	h := fnv.New64a()
+	var s [8]byte
+	for i := 0; i < 8; i++ {
+		s[i] = byte(seed >> (8 * i))
+	}
+	h.Write(s[:])
+	h.Write([]byte(model))
+	h.Write([]byte{0})
+	h.Write([]byte(node))
+	return h.Sum64()
+}
+
+// WeightedScoring scores each node by the predicted slack of the request
+// on it — SLO minus the node's predicted completion latency, the same
+// per-node model admission control uses — and routes to the largest
+// slack: the node most likely to make the deadline with room to spare.
+// Nodes predicted infeasible (negative slack) rank after feasible ones,
+// least-doomed first, so the failover order degrades gracefully.
+// Requests without an SLO are scored on predicted latency alone (an
+// hour-long virtual deadline turns the predictor into a pure latency
+// model). Ties break on lower load, then lower fleet index.
+type WeightedScoring struct{}
+
+// Name implements Policy.
+func (WeightedScoring) Name() string { return "weighted-scoring" }
+
+// scoreHorizon is the deadline handed to the predictor for SLO-free
+// requests: long enough that every node is "feasible" and the score
+// reduces to predicted latency.
+const scoreHorizon = time.Hour
+
+// Route implements Policy.
+func (WeightedScoring) Route(req Request, views []NodeView) []int {
+	deadline := req.SLO
+	if deadline <= 0 {
+		deadline = scoreHorizon
+	}
+	slack := make([]time.Duration, len(views))
+	for i, v := range views {
+		predicted, err := v.Predict(req.Model, req.Batch, deadline, req.Now)
+		if err != nil {
+			// An unpredictable node (unknown model, no devices) scores
+			// worst; Submit will surface the real error if it is tried.
+			slack[i] = -scoreHorizon
+			continue
+		}
+		slack[i] = deadline - predicted
+	}
+	order := identity(len(views))
+	sort.SliceStable(order, func(a, b int) bool {
+		va, vb := views[order[a]], views[order[b]]
+		sa, sb := slack[order[a]], slack[order[b]]
+		if sa != sb {
+			return sa > sb
+		}
+		if va.Load != vb.Load {
+			return va.Load < vb.Load
+		}
+		return va.Index < vb.Index
+	})
+	return order
+}
+
+func identity(n int) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}

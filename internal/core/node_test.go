@@ -1,0 +1,211 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestNodeServesAndObserves(t *testing.T) {
+	s := testScheduler(t)
+	n := NewNode("node0", s, PipelineConfig{ProbeInterval: -1})
+	defer n.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	c, err := n.Do(ctx, PipelineRequest{Model: "simple", Policy: LowestLatency, Input: simpleSamples(3)})
+	if err != nil || c.Err != nil {
+		t.Fatalf("Do: %v / %v", err, c.Err)
+	}
+	if len(c.Classes) != 3 {
+		t.Fatalf("classes = %v", c.Classes)
+	}
+	if n.State() != NodeReady {
+		t.Fatalf("state = %v, want ready", n.State())
+	}
+	st := n.Stats()
+	if st.Name != "node0" || st.State != NodeReady {
+		t.Fatalf("stats identity = %q/%v", st.Name, st.State)
+	}
+	if st.Pipeline.Submitted != 1 || st.Pipeline.Completed != 1 {
+		t.Fatalf("pipeline stats = %+v", st.Pipeline)
+	}
+	if st.Decisions < 1 {
+		t.Fatalf("decisions = %d", st.Decisions)
+	}
+	h := n.Health()
+	if !h.Ready || h.State != NodeReady {
+		t.Fatalf("health = %+v, want ready", h)
+	}
+	if h.Devices != len(s.Devices()) || h.Quarantined != 0 {
+		t.Fatalf("health devices = %+v", h)
+	}
+}
+
+func TestNodeDrainRefusesNewWorkAndSettles(t *testing.T) {
+	s := testScheduler(t)
+	n := NewNode("node0", s, PipelineConfig{ProbeInterval: -1})
+	n.Drain()
+	if n.State() != NodeDrained {
+		t.Fatalf("state after drain = %v, want drained", n.State())
+	}
+	if _, err := n.Submit(context.Background(), PipelineRequest{Model: "simple", Batch: 4}); !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("Submit after drain = %v, want ErrNodeDown", err)
+	}
+	if h := n.Health(); h.Ready {
+		t.Fatalf("drained node reports ready: %+v", h)
+	}
+	n.Drain() // idempotent
+	n.Close() // alias, also idempotent
+}
+
+func TestNodeDrainingRejectsSubmit(t *testing.T) {
+	s := testScheduler(t)
+	n := NewNode("node0", s, PipelineConfig{ProbeInterval: -1})
+	// Enter the draining state without closing the pipeline: the window a
+	// router-facing Submit can race into.
+	if !n.transition(NodeDraining) {
+		t.Fatal("transition to draining refused")
+	}
+	if _, err := n.Submit(context.Background(), PipelineRequest{Model: "simple", Batch: 4}); !errors.Is(err, ErrNodeDraining) {
+		t.Fatalf("Submit while draining = %v, want ErrNodeDraining", err)
+	}
+	n.Drain() // completes the close and settles
+	if n.State() != NodeDrained {
+		t.Fatalf("state = %v, want drained", n.State())
+	}
+}
+
+func TestNodeKillFailsFast(t *testing.T) {
+	s := testScheduler(t)
+	n := NewNode("node0", s, PipelineConfig{ProbeInterval: -1})
+	n.Kill()
+	if n.State() != NodeKilled {
+		t.Fatalf("state = %v, want killed", n.State())
+	}
+	if _, err := n.Submit(context.Background(), PipelineRequest{Model: "simple", Batch: 4}); !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("Submit after kill = %v, want ErrNodeDown", err)
+	}
+	// A drain after a kill must not resurrect the killed label.
+	n.Drain()
+	if n.State() != NodeKilled {
+		t.Fatalf("state after drain-post-kill = %v, want killed", n.State())
+	}
+}
+
+// TestNodeDrainUnderLoadResolvesEveryFuture is the drain-ordering
+// regression test: submitters hammer the node while Drain races in.
+// Every Submit must either hand back a future that resolves, or fail
+// fast with the node lifecycle sentinels — a request is never stranded
+// between accept and close, and the drain never deadlocks against the
+// submitters.
+func TestNodeDrainUnderLoadResolvesEveryFuture(t *testing.T) {
+	s := testScheduler(t)
+	n := NewNode("node0", s, PipelineConfig{ProbeInterval: -1, Window: 200 * time.Microsecond, MaxBatch: 16})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	const clients, perClient = 8, 50
+	var accepted, resolved, refused atomic.Int64
+	errCh := make(chan error, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				fut, err := n.Submit(ctx, PipelineRequest{Model: "mnist-small", Policy: BestThroughput, Batch: 4})
+				switch {
+				case errors.Is(err, ErrNodeDraining), errors.Is(err, ErrNodeDown), errors.Is(err, ErrAdmissionFull):
+					refused.Add(1)
+					continue
+				case err != nil:
+					errCh <- err
+					return
+				}
+				accepted.Add(1)
+				if _, err := fut.Wait(ctx); err != nil {
+					errCh <- err
+					return
+				}
+				resolved.Add(1)
+			}
+		}()
+	}
+	// Let the submitters get going, then drain mid-flight.
+	time.Sleep(5 * time.Millisecond)
+	drained := make(chan struct{})
+	go func() { n.Drain(); close(drained) }()
+	wg.Wait()
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		t.Fatal("drain deadlocked against submitters")
+	}
+	close(errCh)
+	for err := range errCh {
+		t.Fatalf("client failed: %v", err)
+	}
+	if accepted.Load() != resolved.Load() {
+		t.Fatalf("accepted %d futures but only %d resolved", accepted.Load(), resolved.Load())
+	}
+	st := n.Stats()
+	if st.Pipeline.Submitted != accepted.Load() {
+		t.Fatalf("node admitted %d, clients saw %d accepts", st.Pipeline.Submitted, accepted.Load())
+	}
+	if st.Pipeline.Completed != st.Pipeline.Submitted {
+		t.Fatalf("drain dropped futures: %+v", st.Pipeline)
+	}
+	t.Logf("accepted=%d refused=%d", accepted.Load(), refused.Load())
+}
+
+// TestSchedulerReplicaServesIdentically checks the fleet scale-out unit:
+// a replica shares the template's trained classifiers and dataset, owns
+// fresh devices in the same order, and (given the same weight seed)
+// classifies identically.
+func TestSchedulerReplicaServesIdentically(t *testing.T) {
+	tmpl := testScheduler(t)
+	rep, err := tmpl.Replica(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := rep.Devices(), tmpl.Devices(); len(got) != len(want) {
+		t.Fatalf("replica devices = %v, want %v", got, want)
+	} else {
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("replica device order %v, want %v (classifier class labels must keep naming the same slots)", got, want)
+			}
+		}
+	}
+	for _, pol := range []Policy{BestThroughput, LowestLatency, EnergyEfficiency} {
+		if rep.Classifier(pol) != tmpl.Classifier(pol) {
+			t.Fatalf("replica re-trained %v classifier instead of sharing it", pol)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	nt := NewNode("template", tmpl, PipelineConfig{ProbeInterval: -1})
+	defer nt.Close()
+	nr := NewNode("replica", rep, PipelineConfig{ProbeInterval: -1})
+	defer nr.Close()
+	ct, err := nt.Do(ctx, PipelineRequest{Model: "simple", Policy: LowestLatency, Input: simpleSamples(4)})
+	if err != nil || ct.Err != nil {
+		t.Fatalf("template Do: %v / %v", err, ct.Err)
+	}
+	cr, err := nr.Do(ctx, PipelineRequest{Model: "simple", Policy: LowestLatency, Input: simpleSamples(4)})
+	if err != nil || cr.Err != nil {
+		t.Fatalf("replica Do: %v / %v", err, cr.Err)
+	}
+	if len(ct.Classes) != len(cr.Classes) {
+		t.Fatalf("class counts differ: %v vs %v", ct.Classes, cr.Classes)
+	}
+	for i := range ct.Classes {
+		if ct.Classes[i] != cr.Classes[i] {
+			t.Fatalf("replica classifies differently: %v vs %v (same seed must give identical weights)", cr.Classes, ct.Classes)
+		}
+	}
+}

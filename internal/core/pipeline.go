@@ -634,6 +634,15 @@ func (p *Pipeline) Close() {
 	p.sched.SetQueueProbe(nil)
 }
 
+// Load is the pipeline's instantaneous occupancy — requests waiting in
+// admission plus batches queued or executing — as a single cheap signal.
+// The cluster tier's least-loaded router reads it on every routing
+// decision, so it deliberately avoids the locks and map allocation of
+// Stats.
+func (p *Pipeline) Load() int64 {
+	return int64(len(p.admit)) + p.inflight.Load()
+}
+
 // Stats snapshots pipeline activity.
 func (p *Pipeline) Stats() PipelineStats {
 	st := PipelineStats{

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+
+	"bomw/internal/device"
+	"bomw/internal/mlsched"
+	"bomw/internal/opencl"
+)
+
+// Replica builds a fresh scheduler that shares this scheduler's trained
+// per-policy classifiers and characterisation dataset but owns its own
+// devices, simulated OpenCL runtime, dispatcher, health monitor and
+// statistics — the unit of fleet scale-out. The paper's offline phase
+// (characterisation + training, the expensive part of New) runs once on
+// the template; replicas restart instantly, the way LoadState restarts a
+// process from saved forests, and every model loaded on the template is
+// re-built and loaded on the replica with the given weight seed.
+//
+// Devices are rebuilt from the template's profiles in the same order, so
+// the shared classifiers' class labels keep naming the same device slots
+// on every replica. The classifiers are shared by reference: they are
+// read-only after fitting (concurrent Predict/Rank is already the
+// serving pipeline's access pattern), and a Retrain on any scheduler
+// swaps that scheduler's map entries without mutating the shared
+// forests.
+func (s *Scheduler) Replica(seed int64) (*Scheduler, error) {
+	var devs []*device.Device
+	for _, d := range s.devices {
+		devs = append(devs, device.New(d.Profile()))
+	}
+	rt, err := opencl.NewRuntime(devs...)
+	if err != nil {
+		return nil, err
+	}
+	cfg := s.cfg
+	cfg.Devices = devs
+	r := &Scheduler{
+		cfg:       cfg,
+		rt:        rt,
+		disp:      NewDispatcher(rt),
+		devices:   devs,
+		cvMetrics: map[Policy]mlsched.Metrics{},
+		health:    newHealthMonitor(),
+		stats:     Stats{PerDevice: map[string]int{}, PerPolicy: map[Policy]int{}},
+	}
+	for _, d := range devs {
+		if d.Profile().HasBoost {
+			r.dgpu = d
+			break
+		}
+	}
+	s.mu.Lock()
+	r.classifiers = map[Policy]mlsched.Classifier{}
+	for pol, c := range s.classifiers {
+		r.classifiers[pol] = c
+	}
+	s.mu.Unlock()
+	r.dataset = s.dataset
+	for _, name := range s.disp.Models() {
+		spec, err := s.disp.Spec(name)
+		if err != nil {
+			return nil, fmt.Errorf("core: replicating model %q: %w", name, err)
+		}
+		if err := r.LoadModel(spec, seed); err != nil {
+			return nil, fmt.Errorf("core: replicating model %q: %w", name, err)
+		}
+	}
+	return r, nil
+}

@@ -20,21 +20,23 @@ var wallclockFns = map[string]bool{
 
 // virtualClockPkgs are the packages whose time must be virtual: the
 // simulated OpenCL runtime, the device simulators, the scheduler core,
-// and the trace toolkit. Matched as a suffix of the package's
-// module-relative path, so test fixtures can mirror the layout.
+// the cluster/routing tier, and the trace toolkit. Matched as a suffix
+// of the package's module-relative path, so test fixtures can mirror the
+// layout.
 var virtualClockPkgs = []string{
 	"internal/opencl",
 	"internal/device",
 	"internal/core",
+	"internal/cluster",
 	"internal/trace",
 }
 
 var analyzerWallclock = &Analyzer{
 	Name: "wallclock",
 	Doc: "forbid wall-clock reads (time.Now, time.Sleep, timers, ...) in virtual-clock packages\n" +
-		"(internal/opencl, internal/device, internal/core, internal/trace); intentional\n" +
-		"wall-clock sites — the serving pipeline's timers, trace replay — carry a\n" +
-		"//bomw:wallclock <justification> directive",
+		"(internal/opencl, internal/device, internal/core, internal/cluster, internal/trace);\n" +
+		"intentional wall-clock sites — the serving pipeline's timers, trace replay, the\n" +
+		"cluster's default serving clock — carry a //bomw:wallclock <justification> directive",
 	Run: runWallclock,
 }
 

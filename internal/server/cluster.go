@@ -1,0 +1,133 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"bomw/internal/cluster"
+)
+
+// ---- /v1/cluster and /v1/nodes -----------------------------------------
+
+// nodeJSON flattens one NodeSnapshot for the wire.
+func nodeJSON(n cluster.NodeSnapshot) map[string]interface{} {
+	return map[string]interface{}{
+		"name":                n.Name,
+		"state":               n.State,
+		"evicted":             n.Evicted,
+		"routed":              n.Routed,
+		"rerouted":            n.Rerouted,
+		"submitted":           n.Submitted,
+		"completed":           n.Completed,
+		"shed":                n.Shed,
+		"infeasible":          n.Infeasible,
+		"cancelled":           n.Cancelled,
+		"expired":             n.Expired,
+		"failed":              n.Failed,
+		"batches":             n.Batches,
+		"in_flight":           n.InFlight,
+		"slo_attainment":      n.SLOAttainment,
+		"devices":             n.Devices,
+		"quarantined_devices": n.QuarantinedDevices,
+		"degraded_devices":    n.DegradedDevices,
+	}
+}
+
+// handleCluster exposes fleet-wide statistics: routing activity,
+// membership churn, aggregated serving counters and the per-node rows.
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	st := s.fleet.Stats()
+	perNode := make([]map[string]interface{}, 0, len(st.PerNode))
+	for _, n := range st.PerNode {
+		perNode = append(perNode, nodeJSON(n))
+	}
+	writeJSON(w, map[string]interface{}{
+		"policy":         st.Policy,
+		"nodes":          st.Nodes,
+		"ready":          st.Ready,
+		"submits":        st.Submits,
+		"route_failures": st.RouteFailures,
+		"evictions":      st.Evictions,
+		"readmissions":   st.Readmissions,
+		"submitted":      st.Submitted,
+		"completed":      st.Completed,
+		"shed":           st.Shed,
+		"infeasible":     st.Infeasible,
+		"cancelled":      st.Cancelled,
+		"expired":        st.Expired,
+		"failed":         st.Failed,
+		"batches":        st.Batches,
+		"in_flight":      st.InFlight,
+		"slo_attainment": st.SLOAttainment,
+		"per_node":       perNode,
+	})
+}
+
+// NodeAction is the POST /v1/nodes payload: one lifecycle action on one
+// named node.
+type NodeAction struct {
+	Node   string `json:"node"`
+	Action string `json:"action"` // drain | evict | readmit | kill
+}
+
+// handleNodes lists per-node state and health (GET) and applies
+// lifecycle actions (POST): drain (stop routing, complete accepted work),
+// evict (stop routing only), readmit (resume routing a healthy node),
+// kill (fail-stop for failure drills).
+func (s *Server) handleNodes(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		var out []map[string]interface{}
+		for _, nd := range s.nodes {
+			h := nd.Health()
+			out = append(out, map[string]interface{}{
+				"name":                nd.Name(),
+				"state":               h.State.String(),
+				"ready":               h.Ready,
+				"load":                nd.Load(),
+				"devices":             h.Devices,
+				"quarantined_devices": h.Quarantined,
+				"degraded_devices":    h.Degraded,
+				"exec_failures":       h.ExecFailures,
+			})
+		}
+		writeJSON(w, map[string]interface{}{"nodes": out})
+	case http.MethodPost:
+		var req NodeAction
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "decoding node action: %v", err)
+			return
+		}
+		var err error
+		switch req.Action {
+		case "drain":
+			err = s.fleet.Drain(req.Node)
+		case "evict":
+			err = s.fleet.Evict(req.Node)
+		case "readmit":
+			err = s.fleet.Readmit(req.Node)
+		case "kill":
+			err = s.fleet.Kill(req.Node)
+		default:
+			httpError(w, http.StatusBadRequest, "unknown action %q (want drain, evict, readmit or kill)", req.Action)
+			return
+		}
+		switch {
+		case errors.Is(err, cluster.ErrUnknownNode):
+			httpError(w, http.StatusNotFound, "%v", err)
+			return
+		case err != nil:
+			// Readmitting a node that is not healthy enough to serve.
+			httpError(w, http.StatusConflict, "%v", err)
+			return
+		}
+		writeJSON(w, map[string]string{"node": req.Node, "action": req.Action, "status": "ok"})
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "GET or POST required")
+	}
+}

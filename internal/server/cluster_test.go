@@ -1,0 +1,207 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"bomw/internal/cluster"
+	"bomw/internal/core"
+	"bomw/internal/models"
+)
+
+var (
+	fleetOnce sync.Once
+	fleetSrv  *httptest.Server
+	fleetErr  error
+)
+
+// fleetServer stands up a shared 4-node fleet behind least-loaded
+// routing for the cluster endpoint tests.
+func fleetServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	fleetOnce.Do(func() {
+		sched, err := core.New(core.Config{
+			TrainModels: models.PaperModels(),
+			Batches:     []int{8, 512, 8192, 65536},
+			Reps:        1,
+		})
+		if err != nil {
+			fleetErr = err
+			return
+		}
+		if err := sched.LoadModel(models.Simple(), 1); err != nil {
+			fleetErr = err
+			return
+		}
+		pol, err := cluster.PolicyByName("least-loaded", 1)
+		if err != nil {
+			fleetErr = err
+			return
+		}
+		api, err := NewCluster(sched, 1, core.PipelineConfig{}, 4, cluster.Config{Policy: pol})
+		if err != nil {
+			fleetErr = err
+			return
+		}
+		fleetSrv = httptest.NewServer(api)
+	})
+	if fleetErr != nil {
+		t.Fatal(fleetErr)
+	}
+	return fleetSrv
+}
+
+func classifyOK(t *testing.T, url string) ClassifyResponse {
+	t.Helper()
+	samples := make([][]float32, 4)
+	for i := range samples {
+		samples[i] = []float32{5.1, 3.5, 1.4, 0.2}
+	}
+	resp := post(t, url+"/v1/classify", ClassifyRequest{Model: "simple", Samples: samples})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("classify status = %d", resp.StatusCode)
+	}
+	var out ClassifyResponse
+	decode(t, resp, &out)
+	return out
+}
+
+func TestClusterEndpointReportsFleet(t *testing.T) {
+	ts := fleetServer(t)
+	classifyOK(t, ts.URL)
+
+	resp, err := http.Get(ts.URL + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		Policy    string                   `json:"policy"`
+		Nodes     int                      `json:"nodes"`
+		Ready     int                      `json:"ready"`
+		Submits   int64                    `json:"submits"`
+		Submitted int64                    `json:"submitted"`
+		Completed int64                    `json:"completed"`
+		PerNode   []map[string]interface{} `json:"per_node"`
+	}
+	decode(t, resp, &st)
+	if st.Policy != "least-loaded" || st.Nodes != 4 {
+		t.Fatalf("fleet identity = %q/%d", st.Policy, st.Nodes)
+	}
+	if st.Submits < 1 || st.Submitted < 1 || st.Completed < 1 {
+		t.Fatalf("fleet counters empty: %+v", st)
+	}
+	if len(st.PerNode) != 4 {
+		t.Fatalf("per_node has %d rows", len(st.PerNode))
+	}
+	if st.PerNode[0]["name"] != "node0" {
+		t.Fatalf("per_node[0] = %v", st.PerNode[0])
+	}
+}
+
+func TestNodesEndpointListsAndActs(t *testing.T) {
+	ts := fleetServer(t)
+
+	resp, err := http.Get(ts.URL + "/v1/nodes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listing struct {
+		Nodes []struct {
+			Name    string `json:"name"`
+			State   string `json:"state"`
+			Ready   bool   `json:"ready"`
+			Devices int    `json:"devices"`
+		} `json:"nodes"`
+	}
+	decode(t, resp, &listing)
+	if len(listing.Nodes) != 4 {
+		t.Fatalf("nodes = %+v", listing.Nodes)
+	}
+	for _, n := range listing.Nodes {
+		if n.State != "ready" || !n.Ready || n.Devices == 0 {
+			t.Fatalf("node not ready at start: %+v", n)
+		}
+	}
+
+	// Kill one node; the fleet keeps classifying and reports the loss.
+	resp = post(t, ts.URL+"/v1/nodes", NodeAction{Node: "node2", Action: "kill"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("kill status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	classifyOK(t, ts.URL)
+	resp, err = http.Get(ts.URL + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		Ready int `json:"ready"`
+	}
+	decode(t, resp, &st)
+	if st.Ready != 3 {
+		t.Fatalf("ready = %d after kill, want 3", st.Ready)
+	}
+
+	// A killed node cannot be readmitted.
+	resp = post(t, ts.URL+"/v1/nodes", NodeAction{Node: "node2", Action: "readmit"})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("readmit of killed node = %d, want 409", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Evict + readmit round-trips a healthy node.
+	resp = post(t, ts.URL+"/v1/nodes", NodeAction{Node: "node1", Action: "evict"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("evict status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp = post(t, ts.URL+"/v1/nodes", NodeAction{Node: "node1", Action: "readmit"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readmit status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Unknown node and unknown action.
+	resp = post(t, ts.URL+"/v1/nodes", NodeAction{Node: "node9", Action: "kill"})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown node = %d, want 404", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp = post(t, ts.URL+"/v1/nodes", NodeAction{Node: "node0", Action: "reboot"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown action = %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// TestModelLoadReplicatesToEveryNode checks the fleet-wide model load:
+// a model POSTed once must become servable no matter which node the
+// router picks.
+func TestModelLoadReplicatesToEveryNode(t *testing.T) {
+	ts := fleetServer(t)
+	resp := post(t, ts.URL+"/v1/models", ModelSpec{
+		Name:       "fleet-mlp",
+		Kind:       "ffnn",
+		InputShape: []int{4},
+		Hidden:     []int{8},
+		Classes:    3,
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("model load status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	samples := make([][]float32, 2)
+	for i := range samples {
+		samples[i] = []float32{1, 2, 3, 4}
+	}
+	// Enough classifications to touch several nodes under routing.
+	for i := 0; i < 8; i++ {
+		resp := post(t, ts.URL+"/v1/classify", ClassifyRequest{Model: "fleet-mlp", Samples: samples})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("classify %d on fleet-wide model = %d", i, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}

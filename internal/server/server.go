@@ -11,9 +11,12 @@
 //	POST /v1/classify   {"model","policy","samples":[[...]],"timeout_ms":50}
 //	POST /v1/models     {"name","kind","input_shape",...}  (load a model)
 //	GET  /v1/models     list loaded models
-//	GET  /v1/devices    device names, kinds and probe state
-//	GET  /v1/stats      scheduler decision statistics
-//	GET  /v1/pipeline   serving-pipeline statistics (queues, sheds, batches)
+//	GET  /v1/devices    device names, kinds and probe state (node0)
+//	GET  /v1/stats      scheduler decision statistics (node0)
+//	GET  /v1/pipeline   serving-pipeline statistics (node0)
+//	GET  /v1/cluster    fleet-wide routing and serving statistics
+//	GET  /v1/nodes      per-node state, load and health
+//	POST /v1/nodes      {"node","action":"drain|evict|readmit|kill"}
 //
 // Classification requests flow through the concurrent serving pipeline
 // (admission → live batching → per-device worker queues): concurrent
@@ -26,6 +29,13 @@
 // 504/"deadline_exceeded" — doomed work never reaches a device. Virtual
 // time is mapped to wall-clock time since the server started, so the GPU
 // warms and cools as real seconds pass.
+//
+// The server always serves through the cluster tier (internal/cluster):
+// a single-node server is a one-node fleet. NewCluster replicates the
+// scheduler into N nodes behind a routing policy; /v1/classify then
+// routes per request with failover, /v1/cluster and /v1/nodes expose the
+// fleet, and the node0-scoped endpoints (/v1/stats, /v1/devices,
+// /v1/pipeline, /v1/decisions) keep their single-box semantics.
 package server
 
 import (
@@ -37,15 +47,21 @@ import (
 	"sync"
 	"time"
 
+	"bomw/internal/cluster"
 	"bomw/internal/core"
 	"bomw/internal/nn"
 	"bomw/internal/tensor"
 )
 
-// Server is the HTTP facade over a trained scheduler.
+// Server is the HTTP facade over a fleet of scheduler nodes. sched and
+// pipe are node0's — the template scheduler and its pipeline — serving
+// the single-box observability endpoints; classification routes through
+// the fleet.
 type Server struct {
 	sched *core.Scheduler
 	pipe  *core.Pipeline
+	fleet *cluster.Cluster
+	nodes []*core.Node
 	start time.Time
 	mux   *http.ServeMux
 
@@ -54,18 +70,41 @@ type Server struct {
 	loaded map[string]bool
 }
 
-// New wraps a scheduler with a default serving pipeline. seed drives the
-// weight initialisation of models loaded through the API.
+// New wraps a scheduler with a default serving pipeline — a one-node
+// fleet. seed drives the weight initialisation of models loaded through
+// the API.
 func New(sched *core.Scheduler, seed int64) *Server {
 	return NewWithConfig(sched, seed, core.PipelineConfig{})
 }
 
 // NewWithConfig wraps a scheduler with an explicitly configured serving
-// pipeline (cfg.Clock is overridden to the server's virtual clock).
+// pipeline (cfg.Clock is overridden to the server's virtual clock) — a
+// one-node fleet.
 func NewWithConfig(sched *core.Scheduler, seed int64, cfg core.PipelineConfig) *Server {
+	s, err := NewCluster(sched, seed, cfg, 1, cluster.Config{})
+	if err != nil {
+		// Unreachable: a one-node fleet needs no replication and the
+		// template node cannot collide with itself.
+		panic(err)
+	}
+	return s
+}
+
+// NewCluster stands up an n-node fleet: node0 serves on sched itself and
+// nodes 1..n-1 on Scheduler.Replica copies (shared trained classifiers,
+// fresh devices), all pipelines on the server's virtual clock, behind
+// ccfg.Policy (default round-robin). Replication re-runs model loading
+// per node, so it can fail on a template whose models cannot rebuild.
+func NewCluster(sched *core.Scheduler, seed int64, cfg core.PipelineConfig, n int, ccfg cluster.Config) (*Server, error) {
 	s := &Server{sched: sched, start: time.Now(), seed: seed, loaded: map[string]bool{}}
-	cfg.Clock = s.now
-	s.pipe = core.NewPipeline(sched, cfg)
+	ccfg.Clock = s.now
+	fleet, nodes, err := cluster.Build(sched, n, seed, cfg, ccfg)
+	if err != nil {
+		return nil, err
+	}
+	s.fleet = fleet
+	s.nodes = nodes
+	s.pipe = nodes[0].Pipeline()
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/classify", s.handleClassify)
 	s.mux.HandleFunc("/v1/models", s.handleModels)
@@ -73,17 +112,26 @@ func NewWithConfig(sched *core.Scheduler, seed int64, cfg core.PipelineConfig) *
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/v1/decisions", s.handleDecisions)
 	s.mux.HandleFunc("/v1/pipeline", s.handlePipeline)
+	s.mux.HandleFunc("/v1/cluster", s.handleCluster)
+	s.mux.HandleFunc("/v1/nodes", s.handleNodes)
 	sched.EnableAudit(1024)
-	return s
+	return s, nil
 }
 
-// Pipeline exposes the server's serving pipeline.
+// Pipeline exposes node0's serving pipeline.
 func (s *Server) Pipeline() *core.Pipeline { return s.pipe }
 
-// Close drains the serving pipeline: admission stops (new classification
-// requests get 503), open batches flush, and in-flight work completes.
-// Call after http.Server.Shutdown so drained handlers have no successor.
-func (s *Server) Close() { s.pipe.Close() }
+// Cluster exposes the serving fleet.
+func (s *Server) Cluster() *cluster.Cluster { return s.fleet }
+
+// Nodes exposes the fleet's nodes in index order (node0 first).
+func (s *Server) Nodes() []*core.Node { return s.nodes }
+
+// Close drains the fleet: admission stops (new classification requests
+// get 503), open batches flush, and in-flight work completes on every
+// node. Call after http.Server.Shutdown so drained handlers have no
+// successor.
+func (s *Server) Close() { s.fleet.Close() }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -203,10 +251,11 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	shape := append([]int{len(req.Samples)}, spec.InputShape...)
 	in := tensor.FromSlice(flat, shape...)
 
-	// Hand the request to the serving pipeline and wait on its future.
-	// The request context bounds the whole stay: client disconnects
-	// abandon the wait and the pipeline culls the request at the next
-	// stage boundary instead of executing it.
+	// Hand the request to the routing tier and wait on its future. The
+	// router picks a node per the active policy and fails over past shed
+	// or down nodes; the request context bounds the whole stay: client
+	// disconnects abandon the wait and the serving pipeline culls the
+	// request at the next stage boundary instead of executing it.
 	var deadline time.Duration
 	switch {
 	case req.TimeoutMS > 0:
@@ -214,15 +263,18 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	case req.TimeoutMS < 0:
 		deadline = -1 // explicit SLO opt-out
 	}
-	fut, err := s.pipe.Submit(r.Context(), core.PipelineRequest{
+	fut, err := s.fleet.Submit(r.Context(), core.PipelineRequest{
 		Model:    req.Model,
 		Policy:   pol,
 		Input:    in,
 		Deadline: deadline,
 	})
 	switch {
-	case errors.Is(err, core.ErrAdmissionFull), errors.Is(err, core.ErrPipelineClosed):
-		// Load shedding: tell the client to back off and retry.
+	case errors.Is(err, core.ErrAdmissionFull), errors.Is(err, core.ErrPipelineClosed),
+		errors.Is(err, core.ErrNodeDraining), errors.Is(err, core.ErrNodeDown),
+		errors.Is(err, cluster.ErrNoReadyNodes):
+		// Load shedding / no capacity: every node the policy offered shed
+		// or is down. Tell the client to back off and retry.
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusServiceUnavailable, "%v", err)
 		return
@@ -315,9 +367,14 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusConflict, "model %q already loaded", spec.Name)
 			return
 		}
-		if err := s.sched.LoadModel(spec, s.seed); err != nil {
-			httpError(w, http.StatusConflict, "%v", err)
-			return
+		// Load on every node so the router can place the model anywhere.
+		// The same seed gives every replica identical weights — the fleet
+		// answers identically regardless of routing.
+		for _, nd := range s.nodes {
+			if err := nd.Scheduler().LoadModel(spec, s.seed); err != nil {
+				httpError(w, http.StatusConflict, "loading on %s: %v", nd.Name(), err)
+				return
+			}
 		}
 		s.loaded[spec.Name] = true
 		// Content-Type must be set before WriteHeader — headers written
