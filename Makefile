@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: verify build test vet lint lint-json race bench bench-json smoke-cluster soak soak-deadline soak-cluster fuzz
+.PHONY: verify build test vet lint lint-json race bench bench-json smoke-cluster smoke-scenario soak soak-deadline soak-cluster fuzz
 
 verify: vet lint build test race
 
@@ -30,7 +30,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/cluster/... ./internal/server/... ./internal/trace/... ./internal/opencl/...
+	$(GO) test -race ./internal/core/... ./internal/cluster/... ./internal/server/... ./internal/trace/... ./internal/opencl/... ./internal/workload/...
 
 BENCHTIME ?= 2s
 bench:
@@ -47,6 +47,12 @@ bench-json:
 # mid-run node kill — eviction, failover, no dropped futures.
 smoke-cluster:
 	$(GO) test -race -count=1 -run 'TestClusterSmoke' -v ./internal/cluster/
+
+# Scenario smoke drill (CI): the MLPerf-style Server scenario offered
+# open-loop to a live 4-node cluster under the race detector — every
+# offered query accounted for, attainment sane.
+smoke-scenario:
+	$(GO) test -race -count=1 -run 'TestScenarioSmoke' -v ./internal/workload/scenario/
 
 # Failure-domain soak: overload + persistent device faults + mid-run
 # recovery under the race detector (skipped by -short elsewhere).
@@ -69,6 +75,8 @@ soak-cluster:
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzLoadState -fuzztime $(FUZZTIME) ./internal/core/
-	for f in $$($(GO) test -list 'Fuzz.*' ./internal/trace/ | grep '^Fuzz'); do \
-		$(GO) test -run '^$$' -fuzz $$f -fuzztime $(FUZZTIME) ./internal/trace/ || exit 1; \
+	for pkg in ./internal/trace/ ./internal/workload/; do \
+		for f in $$($(GO) test -list 'Fuzz.*' $$pkg | grep '^Fuzz'); do \
+			$(GO) test -run '^$$' -fuzz $$f -fuzztime $(FUZZTIME) $$pkg || exit 1; \
+		done; \
 	done

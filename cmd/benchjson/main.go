@@ -8,6 +8,13 @@
 // completion before issuing the next request) against either a single
 // serving pipeline or a least-loaded routed fleet, and reports req/s.
 //
+// With -scenario (the default) the artifact also carries the MLPerf-style
+// scenario curves — SingleStream/MultiStream/Server/Offline reports on a
+// single node and on the fleet, plus the binary-searched max sustainable
+// Server rate under the SLO. The scenario section runs on the virtual
+// clock, so it is deterministic in the seed and diffs cleanly across
+// commits, unlike the wall-clock closed-loop points.
+//
 // Usage:
 //
 //	benchjson                      # writes BENCH_pipeline.json
@@ -25,6 +32,7 @@ import (
 	"bomw/internal/cluster"
 	"bomw/internal/core"
 	"bomw/internal/models"
+	"bomw/internal/workload/scenario"
 )
 
 // Result is one benchmark point of the artifact.
@@ -41,6 +49,11 @@ type Artifact struct {
 	GeneratedUnix int64    `json:"generated_unix"`
 	GoVersion     string   `json:"go_version,omitempty"`
 	Benchmarks    []Result `json:"benchmarks"`
+	// Scenarios holds the deterministic virtual-clock scenario reports
+	// (single node then fleet); ServerSearch the max-rate-under-SLO
+	// figure for the single node. Present unless -scenario=false.
+	Scenarios    []scenario.Report      `json:"scenarios,omitempty"`
+	ServerSearch *scenario.SearchResult `json:"server_search,omitempty"`
 }
 
 // runLoad drives n requests through submit from `clients` closed-loop
@@ -77,6 +90,7 @@ func main() {
 	n := flag.Int("n", 2000, "requests per benchmark point")
 	nodes := flag.Int("nodes", 4, "fleet size for the cluster points")
 	seed := flag.Int64("seed", 1, "random seed")
+	scen := flag.Bool("scenario", true, "append the MLPerf-style scenario curves")
 	flag.Parse()
 
 	fmt.Fprintln(os.Stderr, "benchjson: characterising devices and training the scheduler…")
@@ -152,6 +166,57 @@ func main() {
 		})
 	}
 
+	if *scen {
+		fmt.Fprintln(os.Stderr, "benchjson: running scenario curves…")
+		// Fresh replicas: the closed-loop points above mutated the
+		// template's device state, and the scenario section must be
+		// deterministic in the seed alone.
+		rep, err := sched.Replica(*seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		base := scenario.Params{
+			Model:      "mnist-small",
+			Policy:     core.BestThroughput,
+			Queries:    256,
+			TargetRate: 500,
+			SLO:        20 * time.Millisecond,
+			Seed:       *seed,
+		}
+		node := scenario.NewSchedulerBackend(rep)
+		reports, err := scenario.RunAll(node, base)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		art.Scenarios = append(art.Scenarios, reports...)
+		fleet, err := scenario.NewFleetBackend(rep, *nodes, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fleetBase := base
+		fleetBase.TargetRate = base.TargetRate * float64(*nodes)
+		reports, err = scenario.RunAll(fleet, fleetBase)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		art.Scenarios = append(art.Scenarios, reports...)
+		search, err := scenario.FindMaxRate(func(rate float64) (scenario.Report, error) {
+			p := base
+			p.Kind = scenario.Server
+			p.TargetRate = rate
+			return scenario.Run(node, p)
+		}, 10, 1e6, 0.99, 8)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		art.ServerSearch = &search
+	}
+
 	f, err := os.Create(*out)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -169,6 +234,14 @@ func main() {
 	}
 	for _, r := range art.Benchmarks {
 		fmt.Printf("%-42s %10.0f req/s\n", r.Name, r.ReqPerS)
+	}
+	for _, r := range art.Scenarios {
+		fmt.Printf("scenario/%-14s %-8s p99 %8dus %12.1f samples/s\n",
+			r.Scenario, r.Target, r.Latency.P99US, r.SamplesPerS)
+	}
+	if art.ServerSearch != nil {
+		fmt.Printf("scenario/server max sustainable rate: %.1f qps (p99 within %gms at %.0f%% attainment)\n",
+			art.ServerSearch.MaxRate, art.ServerSearch.SLOMS, art.ServerSearch.TargetAttainment*100)
 	}
 	fmt.Printf("benchjson: wrote %s\n", *out)
 }

@@ -1,0 +1,26 @@
+// Package workload mirrors internal/workload in the fixture tree: the
+// arrival-stream compiler is virtual-clock territory, so wall-clock
+// reads here are findings. (internal/workload/scenario is deliberately
+// outside the scope — its live mode paces real time.)
+package workload
+
+import "time"
+
+func seedFromClock() int64 {
+	return time.Now().UnixNano() // want "wall-clock time.Now in virtual-clock package"
+}
+
+// virtualArrivals only manipulates durations, the virtual-clock
+// currency: no finding.
+func virtualArrivals(gap time.Duration, n int) []time.Duration {
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = time.Duration(i) * gap
+	}
+	return out
+}
+
+func pace() {
+	//bomw:wallclock fixture: justified pacing exception
+	time.Sleep(time.Millisecond)
+}

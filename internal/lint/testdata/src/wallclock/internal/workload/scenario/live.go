@@ -1,0 +1,15 @@
+// Package scenario mirrors internal/workload/scenario: the live
+// scenario harness paces arrivals on the real clock by design, so it
+// sits outside the virtual-clock scope and this file must produce no
+// findings even though it reads wall time freely.
+package scenario
+
+import "time"
+
+func PaceGap(gap time.Duration) {
+	time.Sleep(gap)
+}
+
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start)
+}

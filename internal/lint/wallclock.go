@@ -29,12 +29,19 @@ var virtualClockPkgs = []string{
 	"internal/core",
 	"internal/cluster",
 	"internal/trace",
+	// The workload compiler emits virtual-time arrival streams; wall
+	// time leaking in would make compiled traces irreproducible. Its
+	// scenario subpackage is deliberately NOT listed: live scenario
+	// runs pace arrivals on the wall clock by design, and suffix
+	// matching keeps internal/workload/scenario out of this entry.
+	"internal/workload",
 }
 
 var analyzerWallclock = &Analyzer{
 	Name: "wallclock",
 	Doc: "forbid wall-clock reads (time.Now, time.Sleep, timers, ...) in virtual-clock packages\n" +
-		"(internal/opencl, internal/device, internal/core, internal/cluster, internal/trace);\n" +
+		"(internal/opencl, internal/device, internal/core, internal/cluster, internal/trace,\n" +
+		"internal/workload — but not internal/workload/scenario, whose live mode paces real time);\n" +
 		"intentional wall-clock sites — the serving pipeline's timers, trace replay, the\n" +
 		"cluster's default serving clock — carry a //bomw:wallclock <justification> directive",
 	Run: runWallclock,

@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Interarrival sampling. Every distribution is normalised to unit mean,
+// so the generator can scale one draw by the instantaneous rate
+// (rate × envelope factor) regardless of distribution: the draw is the
+// gap in "mean interarrivals", the scale turns it into seconds.
+
+// sampler draws one unit-mean interarrival.
+type sampler func(rng *rand.Rand) float64
+
+// newSampler compiles an Arrival into its unit-mean sampler. The
+// arrival must already be validated.
+func newSampler(a Arrival) sampler {
+	switch a.Dist {
+	case DistGamma:
+		k := a.Shape
+		return func(rng *rand.Rand) float64 {
+			// Gamma(k, θ=1) has mean k; divide for unit mean.
+			return gammaSample(rng, k) / k
+		}
+	case DistWeibull:
+		k := a.Shape
+		// Weibull(k, λ) has mean λ·Γ(1+1/k); pick λ for unit mean.
+		scale := 1 / math.Gamma(1+1/k)
+		return func(rng *rand.Rand) float64 {
+			u := 1 - rng.Float64() // (0,1]: keeps the log finite
+			return scale * math.Pow(-math.Log(u), 1/k)
+		}
+	case DistUniform:
+		return func(rng *rand.Rand) float64 {
+			return 2 * rng.Float64() // U(0,2), mean 1
+		}
+	default: // DistPoisson
+		return func(rng *rand.Rand) float64 {
+			return rng.ExpFloat64()
+		}
+	}
+}
+
+// gammaSample draws Gamma(shape, 1) by Marsaglia–Tsang squeeze; shapes
+// below 1 use the boost Gamma(a) = Gamma(a+1)·U^(1/a).
+func gammaSample(rng *rand.Rand, shape float64) float64 {
+	if shape < 1 {
+		u := 1 - rng.Float64() // (0,1]
+		return gammaSample(rng, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := 1 - rng.Float64() // (0,1]: keeps the log finite
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// analyticVariance returns the unit-mean distribution's variance — the
+// quantity the statistical tests check sample moments against.
+func analyticVariance(a Arrival) float64 {
+	switch a.Dist {
+	case DistGamma:
+		// Gamma(k,θ) scaled to unit mean: var = 1/k.
+		return 1 / a.Shape
+	case DistWeibull:
+		g1 := math.Gamma(1 + 1/a.Shape)
+		g2 := math.Gamma(1 + 2/a.Shape)
+		return g2/(g1*g1) - 1
+	case DistUniform:
+		// U(0,2): var = (2-0)²/12.
+		return 1.0 / 3.0
+	default: // exponential
+		return 1
+	}
+}
+
+// pick draws one index from cumulative weights (strictly increasing,
+// last = total).
+func pick(rng *rand.Rand, cum []float64) int {
+	r := rng.Float64() * cum[len(cum)-1]
+	for i, c := range cum {
+		if r < c {
+			return i
+		}
+	}
+	return len(cum) - 1
+}
+
+// cumulate folds weights into a cumulative sum, skipping zero-weight
+// entries by giving them zero probability mass.
+func cumulate[T any](mix []T, weight func(T) float64) []float64 {
+	cum := make([]float64, len(mix))
+	sum := 0.0
+	for i, m := range mix {
+		sum += weight(m)
+		cum[i] = sum
+	}
+	return cum
+}

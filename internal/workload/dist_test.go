@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Statistical checks on the interarrival samplers: every distribution is
+// normalised to unit mean, so the sample mean must land on 1 and the
+// sample variance on the distribution's analytic value. The draws are
+// seeded, so these are exact regression tests, not flaky Monte Carlo —
+// the tolerances just have to hold for this seed and sample count.
+func TestSamplerMoments(t *testing.T) {
+	const n = 200_000
+	cases := []struct {
+		name    string
+		arrival Arrival
+	}{
+		{"poisson", Arrival{Dist: DistPoisson, Rate: 1}},
+		{"gamma-regular", Arrival{Dist: DistGamma, Rate: 1, Shape: 4}},
+		{"gamma-exponential", Arrival{Dist: DistGamma, Rate: 1, Shape: 1}},
+		{"gamma-heavy", Arrival{Dist: DistGamma, Rate: 1, Shape: 0.5}},
+		{"weibull-regular", Arrival{Dist: DistWeibull, Rate: 1, Shape: 1.5}},
+		{"weibull-heavy", Arrival{Dist: DistWeibull, Rate: 1, Shape: 0.7}},
+		{"uniform", Arrival{Dist: DistUniform, Rate: 1}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			draw := newSampler(tc.arrival)
+			var sum, sumSq float64
+			for i := 0; i < n; i++ {
+				x := draw(rng)
+				if x < 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+					t.Fatalf("draw %d = %v: interarrivals must be finite and non-negative", i, x)
+				}
+				sum += x
+				sumSq += x * x
+			}
+			mean := sum / n
+			variance := sumSq/n - mean*mean
+			if math.Abs(mean-1) > 0.02 {
+				t.Errorf("sample mean %.4f, want 1 ± 0.02", mean)
+			}
+			want := analyticVariance(tc.arrival)
+			if rel := math.Abs(variance-want) / want; rel > 0.05 {
+				t.Errorf("sample variance %.4f, want %.4f ± 5%% (rel err %.3f)", variance, want, rel)
+			}
+		})
+	}
+}
+
+// The shape parameter's whole point is controlling burstiness: shape >1
+// must be more regular than Poisson (CV < 1), shape <1 burstier (CV > 1).
+func TestShapeOrdersBurstiness(t *testing.T) {
+	cv := func(a Arrival) float64 {
+		return math.Sqrt(analyticVariance(a)) // unit mean, so CV = stddev
+	}
+	regular := cv(Arrival{Dist: DistGamma, Rate: 1, Shape: 4})
+	pois := cv(Arrival{Dist: DistPoisson, Rate: 1})
+	heavy := cv(Arrival{Dist: DistGamma, Rate: 1, Shape: 0.5})
+	if !(regular < pois && pois < heavy) {
+		t.Fatalf("CV ordering broken: shape4 %.3f, poisson %.3f, shape0.5 %.3f", regular, pois, heavy)
+	}
+}
+
+// Envelope factors must stay inside their documented ranges and hit
+// their extremes.
+func TestEnvelopeFactorRanges(t *testing.T) {
+	diurnal := Envelope{Kind: EnvDiurnal, PeriodS: 10, Floor: 0.2}
+	minF, maxF := math.Inf(1), math.Inf(-1)
+	for ti := 0; ti < 1000; ti++ {
+		f := diurnal.factor(float64(ti) * 0.01)
+		minF = math.Min(minF, f)
+		maxF = math.Max(maxF, f)
+	}
+	if minF < 0.2-1e-9 || maxF > 1+1e-9 {
+		t.Fatalf("diurnal factor range [%.3f, %.3f], want within [0.2, 1]", minF, maxF)
+	}
+	if maxF < 0.99 || minF > 0.21 {
+		t.Fatalf("diurnal factor never reached its extremes: [%.3f, %.3f]", minF, maxF)
+	}
+
+	bursty := Envelope{Kind: EnvBursty, PeriodS: 10, BurstS: 2, Gain: 5}
+	if f := bursty.factor(1); f != 5 {
+		t.Fatalf("in-burst factor %v, want 5", f)
+	}
+	if f := bursty.factor(3); f != 1 {
+		t.Fatalf("off-burst factor %v, want 1", f)
+	}
+	if f := bursty.factor(11); f != 5 {
+		t.Fatalf("burst must recur every period: factor(11) = %v, want 5", f)
+	}
+}

@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// FuzzParseSpec: arbitrary input must never panic the spec loader, and
+// every accepted spec must be fully valid — in particular NaN/negative
+// rates and unknown distributions must have been rejected with the typed
+// errors, because Compile trusts Validate.
+func FuzzParseSpec(f *testing.F) {
+	var buf bytes.Buffer
+	if err := twoClientSpec(1).WriteJSON(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{}`)
+	f.Add(`{"seed":1,"horizon_s":1,"clients":[]}`)
+	f.Add(`{"seed":1,"horizon_s":1,"clients":[{"arrival":{"dist":"pareto","rate":1},"models":[{"model":"m","weight":1}],"batches":[{"batch":1,"weight":1}]}]}`)
+	f.Add(`{"seed":1,"horizon_s":1,"clients":[{"arrival":{"dist":"poisson","rate":-5},"models":[{"model":"m","weight":1}],"batches":[{"batch":1,"weight":1}]}]}`)
+	f.Add(`{"seed":1,"horizon_s":1e308,"clients":[{"arrival":{"dist":"poisson","rate":1e308},"models":[{"model":"m","weight":1}],"batches":[{"batch":1,"weight":1}]}]}`)
+	f.Add(`{"seed":1,"horizon_s":2,"clients":[{"arrival":{"dist":"weibull","rate":10,"shape":0.3},"envelope":{"kind":"bursty","period_s":1,"burst_s":0.2,"gain":8},"models":[{"model":"m","weight":1}],"batches":[{"batch":3,"weight":1}]}]}`)
+
+	f.Fuzz(func(t *testing.T, data string) {
+		spec, err := ParseSpecBytes([]byte(data))
+		if err != nil {
+			return
+		}
+		// Accepted ⇒ valid: ParseSpec ran Validate, so a second pass must
+		// agree and every compiled event stream must be time ordered.
+		if verr := spec.Validate(); verr != nil {
+			t.Fatalf("accepted spec fails Validate: %v", verr)
+		}
+		// Only compile cheap specs: the generator loop is linear in the
+		// event count, and the fuzzer should spend its budget on the
+		// parser, not on legitimately huge workloads.
+		if spec.expectedEvents() > 10_000 {
+			return
+		}
+		spec.MaxEvents = 2_000
+		tr, cerr := Compile(spec)
+		if cerr != nil {
+			return // e.g. ErrEmptyTrace for tiny rates — valid outcome
+		}
+		prev := time.Duration(-1)
+		for i, r := range tr {
+			if r.At < prev {
+				t.Fatalf("compiled event %d out of order", i)
+			}
+			prev = r.At
+			if r.Batch <= 0 || r.Model == "" {
+				t.Fatalf("compiled event %d malformed: %+v", i, r)
+			}
+		}
+	})
+}

@@ -1,0 +1,65 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// JSON persistence for workload specs — the loadgen input format. The
+// decoder is strict (unknown fields are errors, so typos in a spec file
+// surface instead of silently defaulting) and every accepted spec has
+// passed Validate: NaN/negative rates, unknown distributions and
+// malformed mixes come back as the package's typed errors, never as a
+// later panic.
+
+// ParseSpec decodes and validates one spec document.
+func ParseSpec(r io.Reader) (Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("workload: decoding spec: %w", err)
+	}
+	// A second document in the stream is a malformed spec file, not
+	// extra input to ignore.
+	if dec.More() {
+		return Spec{}, fmt.Errorf("workload: decoding spec: trailing data after document")
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// ParseSpecBytes decodes and validates a spec held in memory.
+func ParseSpecBytes(data []byte) (Spec, error) {
+	return ParseSpec(bytes.NewReader(data))
+}
+
+// LoadSpecFile reads, decodes and validates a spec file.
+func LoadSpecFile(path string) (Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Spec{}, fmt.Errorf("workload: %w", err)
+	}
+	defer f.Close()
+	s, err := ParseSpec(f)
+	if err != nil {
+		return Spec{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// WriteJSON serialises the spec (indented, stable field order) so specs
+// round-trip through ParseSpec.
+func (s Spec) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		return fmt.Errorf("workload: encoding spec: %w", err)
+	}
+	return nil
+}

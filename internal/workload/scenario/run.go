@@ -1,0 +1,112 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"bomw/internal/workload"
+)
+
+// Run executes one scenario on a virtual-mode backend and returns its
+// report. Execution is sequential on the virtual clock and fully
+// deterministic in (Params, backend construction): the golden tests pin
+// the serialised output byte-for-byte.
+func Run(b Backend, p Params) (Report, error) {
+	p = p.withDefaults()
+	if err := p.validate(); err != nil {
+		return Report{}, err
+	}
+	b.Reset()
+	switch p.Kind {
+	case SingleStream, MultiStream:
+		return runStream(b, p)
+	case Offline:
+		return runOffline(b, p)
+	case Server:
+		return runServer(b, p)
+	}
+	return Report{}, fmt.Errorf("scenario: unknown scenario kind %q", p.Kind)
+}
+
+// RunAll executes every scenario (in Kinds order) with shared base
+// parameters, filling in each scenario's Kind.
+func RunAll(b Backend, base Params) ([]Report, error) {
+	var out []Report
+	for _, k := range Kinds() {
+		p := base
+		p.Kind = k
+		r, err := Run(b, p)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", k, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// runStream is SingleStream and MultiStream: issue one query of p.Batch
+// samples, wait for it, issue the next. The virtual clock advances to
+// each completion, so latency is pure service time — no queueing by
+// construction.
+func runStream(b Backend, p Params) (Report, error) {
+	col := newCollector()
+	clock := time.Duration(0)
+	for q := 0; q < p.Queries; q++ {
+		ex, err := b.Run(p.Model, p.Batch, p.Policy, clock)
+		if err != nil {
+			return Report{}, fmt.Errorf("scenario %s query %d: %w", p.Kind, q, err)
+		}
+		col.add(ex.Completed-clock, ex.Completed, p.Batch, ex.EnergyJ, ex.Device)
+		clock = ex.Completed
+	}
+	return col.report(p.Kind, b.Name(), p), nil
+}
+
+// runOffline issues the whole backlog at t=0; the device busy horizon
+// provides the queueing, and samples/s over the makespan is the metric.
+func runOffline(b Backend, p Params) (Report, error) {
+	col := newCollector()
+	for q := 0; q < p.Queries; q++ {
+		ex, err := b.Run(p.Model, p.Batch, p.Policy, 0)
+		if err != nil {
+			return Report{}, fmt.Errorf("scenario offline query %d: %w", q, err)
+		}
+		col.add(ex.Completed, ex.Completed, p.Batch, ex.EnergyJ, ex.Device)
+	}
+	return col.report(Offline, b.Name(), p), nil
+}
+
+// runServer replays the compiled arrival stream (Poisson by default, or
+// the caller's workload spec) at its virtual timestamps. Latency is
+// arrival-to-completion, so queueing delay under overload shows up in
+// the percentiles, and attainment counts queries finishing inside SLO.
+func runServer(b Backend, p Params) (Report, error) {
+	spec, err := p.serverTrace()
+	if err != nil {
+		return Report{}, err
+	}
+	tr, err := workload.Compile(spec)
+	if err != nil {
+		return Report{}, fmt.Errorf("scenario server: compiling arrivals: %w", err)
+	}
+	col := newCollector()
+	inSLO := 0
+	for i, ev := range tr {
+		ex, err := b.Run(ev.Model, ev.Batch, p.Policy, ev.At)
+		if err != nil {
+			return Report{}, fmt.Errorf("scenario server query %d: %w", i, err)
+		}
+		lat := ex.Completed - ev.At
+		if p.SLO <= 0 || lat <= p.SLO {
+			inSLO++
+		}
+		col.add(lat, ex.Completed, ev.Batch, ex.EnergyJ, ex.Device)
+	}
+	r := col.report(Server, b.Name(), p)
+	r.TargetRate = round3(p.TargetRate)
+	r.SLOMS = round3(float64(p.SLO) / float64(time.Millisecond))
+	if len(tr) > 0 {
+		r.Attainment = round3(float64(inSLO) / float64(len(tr)))
+	}
+	return r, nil
+}

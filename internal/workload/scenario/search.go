@@ -1,0 +1,109 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+)
+
+// Probe is one rate the max-rate search tried.
+type Probe struct {
+	Rate       float64 `json:"rate"`
+	Attainment float64 `json:"attainment"`
+	P99US      int64   `json:"p99_us"`
+	Pass       bool    `json:"pass"`
+}
+
+// SearchResult is the outcome of a max-rate-under-SLO search: MLPerf's
+// Server-scenario headline figure plus the probe trail that produced it.
+type SearchResult struct {
+	SLOMS            float64 `json:"slo_ms"`
+	TargetAttainment float64 `json:"target_attainment"`
+	// MaxRate is the highest probed rate whose report met the target
+	// attainment (0 when even the lowest probe failed).
+	MaxRate float64 `json:"max_rate"`
+	Probes  []Probe `json:"probes"`
+}
+
+// FindMaxRate binary-searches the highest Server-scenario offered rate
+// that still meets the target SLO attainment. `run` executes one Server
+// scenario at the given rate — virtual (Run) for deterministic search,
+// live (RunLive) for end-to-end — and must populate Report.Attainment
+// and SLOMS. The search brackets first (doubling from lo while probes
+// pass, capped at hi), then bisects for `iters` rounds; attainment is
+// monotone non-increasing in offered rate up to seeded arrival noise,
+// so the bracket converges on the knee.
+func FindMaxRate(run func(rate float64) (Report, error), lo, hi, attain float64, iters int) (SearchResult, error) {
+	if !(lo > 0) || !(hi >= lo) || math.IsInf(hi, 0) {
+		return SearchResult{}, fmt.Errorf("scenario: max-rate search needs 0 < lo <= hi, got [%g, %g]", lo, hi)
+	}
+	if !(attain > 0 && attain <= 1) {
+		return SearchResult{}, fmt.Errorf("scenario: target attainment must be in (0, 1], got %g", attain)
+	}
+	if iters <= 0 {
+		iters = 8
+	}
+
+	out := SearchResult{TargetAttainment: attain}
+	probe := func(rate float64) (bool, error) {
+		rep, err := run(rate)
+		if err != nil {
+			return false, fmt.Errorf("scenario: probing %.3f qps: %w", rate, err)
+		}
+		pass := rep.Attainment >= attain
+		out.SLOMS = rep.SLOMS
+		out.Probes = append(out.Probes, Probe{
+			Rate:       round3(rate),
+			Attainment: rep.Attainment,
+			P99US:      rep.Latency.P99US,
+			Pass:       pass,
+		})
+		if pass && rate > out.MaxRate {
+			out.MaxRate = round3(rate)
+		}
+		return pass, nil
+	}
+
+	// Bracket: double from lo until a probe fails (or hi passes, in
+	// which case hi is the answer the caller allowed).
+	pass, err := probe(lo)
+	if err != nil {
+		return SearchResult{}, err
+	}
+	if !pass {
+		return out, nil // infeasible even at the floor
+	}
+	good, bad := lo, 0.0
+	for bad == 0 {
+		next := good * 2
+		if next >= hi {
+			next = hi
+		}
+		pass, err := probe(next)
+		if err != nil {
+			return SearchResult{}, err
+		}
+		if pass {
+			good = next
+			if next == hi {
+				return out, nil // the whole allowed range sustains the SLO
+			}
+		} else {
+			bad = next
+		}
+	}
+
+	// Bisect the (good, bad) bracket.
+	for i := 0; i < iters && bad-good > 1e-9*bad; i++ {
+		mid := (good + bad) / 2
+		pass, err := probe(mid)
+		if err != nil {
+			return SearchResult{}, err
+		}
+		if pass {
+			good = mid
+		} else {
+			bad = mid
+		}
+	}
+	return out, nil
+}
