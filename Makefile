@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: verify build test vet lint lint-json race bench bench-json smoke-cluster smoke-scenario soak soak-deadline soak-cluster fuzz
+.PHONY: verify build test vet lint lint-json race bench bench-json bench-guard smoke-cluster smoke-scenario soak soak-deadline soak-cluster fuzz
 
 verify: vet lint build test race
 
@@ -42,6 +42,14 @@ bench:
 # dashboards and regression tracking.
 bench-json:
 	$(GO) run ./cmd/benchjson
+
+# Bench-regression gate: re-measure the 16-client closed-loop pipeline
+# point and fail if it drops >20% below the committed baseline. On
+# hardware other than the baseline's (CI runners), run with
+# BENCHGUARD_FLAGS=-warn to report without failing.
+BENCHGUARD_FLAGS ?=
+bench-guard:
+	$(GO) run ./cmd/benchguard $(BENCHGUARD_FLAGS)
 
 # Cluster smoke drill (CI): an 8-node fleet under load survives one
 # mid-run node kill — eviction, failover, no dropped futures.

@@ -1,0 +1,170 @@
+// Command benchguard is the bench-regression smoke gate: it re-runs the
+// hot closed-loop serving point (16 concurrent clients against a single
+// pipeline, the same workload as BenchmarkPipelineServe/clients=16 and
+// the benchjson artifact) and compares the measured req/s against the
+// committed BENCH_pipeline.json baseline. A drop past the threshold
+// (default 20%) fails the build before a hot-path regression lands.
+//
+// The measurement is wall-clock and therefore hardware-sensitive: on
+// machines other than the one that generated the baseline (CI runners
+// in particular), pass -warn to report the comparison without failing.
+// Improvements never fail, and the best of -runs attempts is compared,
+// which filters scheduler-noise outliers without hiding real
+// regressions.
+//
+// Usage:
+//
+//	benchguard                          # compare against BENCH_pipeline.json, fail on >20% drop
+//	benchguard -warn                    # report only (foreign hardware / CI)
+//	benchguard -threshold 0.1 -runs 5   # stricter drop bound, more attempts
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"bomw/internal/core"
+	"bomw/internal/models"
+)
+
+// point mirrors the benchmark entries of the benchjson artifact.
+type point struct {
+	Name    string  `json:"name"`
+	Clients int     `json:"clients"`
+	ReqPerS float64 `json:"req_per_s"`
+}
+
+type artifact struct {
+	Benchmarks []point `json:"benchmarks"`
+}
+
+const guardedPoint = "BenchmarkPipelineServe/clients=16"
+
+func baselineReqPerS(path string) (float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var art artifact
+	if err := json.Unmarshal(raw, &art); err != nil {
+		return 0, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	for _, b := range art.Benchmarks {
+		if b.Name == guardedPoint {
+			if b.ReqPerS <= 0 {
+				return 0, fmt.Errorf("%s: baseline %s has non-positive req_per_s", path, guardedPoint)
+			}
+			return b.ReqPerS, nil
+		}
+	}
+	return 0, fmt.Errorf("%s: no %q entry", path, guardedPoint)
+}
+
+// measure drives n requests through a fresh pipeline from `clients`
+// closed-loop clients — the benchjson workload — and returns req/s.
+func measure(clients, n int) (float64, error) {
+	sched, err := core.New(core.Config{
+		TrainModels: models.PaperModels(),
+		Batches:     []int{8, 512, 8192, 65536},
+		Reps:        1,
+		Seed:        1,
+	})
+	if err != nil {
+		return 0, err
+	}
+	if err := sched.LoadModel(models.MnistSmall(), 1); err != nil {
+		return 0, err
+	}
+	p := core.NewPipeline(sched, core.PipelineConfig{
+		Window:        500 * time.Microsecond,
+		MaxBatch:      256,
+		ProbeInterval: -1,
+	})
+	defer p.Close()
+
+	ctx := context.Background()
+	req := core.PipelineRequest{Model: "mnist-small", Policy: core.BestThroughput, Batch: 8}
+	work := make(chan struct{})
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		go func() {
+			for range work {
+				c, err := p.Do(ctx, req)
+				if err == nil {
+					err = c.Err
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		work <- struct{}{}
+	}
+	close(work)
+	for i := 0; i < clients; i++ {
+		if err := <-errs; err != nil {
+			return 0, err
+		}
+	}
+	elapsed := time.Since(start)
+	return float64(n) / elapsed.Seconds(), nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_pipeline.json", "baseline artifact path")
+	threshold := flag.Float64("threshold", 0.20, "maximum tolerated fractional drop below baseline")
+	runs := flag.Int("runs", 3, "measurement attempts; the best one is compared")
+	n := flag.Int("n", 2000, "requests per attempt")
+	clients := flag.Int("clients", 16, "closed-loop clients")
+	warn := flag.Bool("warn", false, "report regressions without failing (foreign hardware / CI)")
+	flag.Parse()
+
+	base, err := baselineReqPerS(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+
+	var best float64
+	for i := 0; i < *runs; i++ {
+		got, err := measure(*clients, *n)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchguard:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "benchguard: run %d/%d: %.0f req/s\n", i+1, *runs, got)
+		if got > best {
+			best = got
+		}
+	}
+
+	floor := base * (1 - *threshold)
+	delta := (best - base) / base * 100
+	verdict := fmt.Sprintf("%s: measured %.0f req/s vs baseline %.0f (%+.1f%%), floor %.0f",
+		guardedPoint, best, base, delta, floor)
+	if best >= floor {
+		fmt.Fprintln(os.Stderr, "benchguard: PASS —", verdict)
+		return
+	}
+	if *warn {
+		fmt.Fprintln(os.Stderr, "benchguard: WARN —", verdict)
+		fmt.Fprintln(os.Stderr, "benchguard: below the regression floor, tolerated by -warn (foreign hardware)")
+		return
+	}
+	fmt.Fprintln(os.Stderr, "benchguard: FAIL —", verdict)
+	fmt.Fprintf(os.Stderr, "benchguard: throughput dropped more than %.0f%% below the committed baseline; "+
+		"if the change is an accepted trade-off, regenerate the baseline with `make bench-json`\n", *threshold*100)
+	// Keep the failure message greppable in CI logs.
+	fmt.Fprintln(os.Stderr, "benchguard:", strings.Repeat("-", 8), "bench regression gate failed")
+	os.Exit(1)
+}

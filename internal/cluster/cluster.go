@@ -31,6 +31,7 @@ type Node interface {
 	Submit(ctx context.Context, req core.PipelineRequest) (*core.Future, error)
 	FeasibleWithin(model string, batch int, deadline, now time.Duration) (bool, time.Duration, error)
 	Load() int64
+	QueueDelay() time.Duration
 	Stats() core.NodeStats
 	Health() core.NodeHealth
 	Drain()
@@ -288,6 +289,25 @@ func (c *Cluster) Submit(ctx context.Context, req core.PipelineRequest) (*core.F
 	}
 	c.routeFails.Add(1)
 	return nil, lastErr
+}
+
+// QueueDelay is the fleet's best-case backlog estimate: the smallest
+// per-node pipeline queue delay over the ready nodes — the soonest a
+// retried request could plausibly find room anywhere. Zero when no node
+// is ready (callers apply their own floor).
+func (c *Cluster) QueueDelay() time.Duration {
+	ms, _ := c.eligible()
+	var best time.Duration
+	found := false
+	for _, m := range ms {
+		if !m.node.Health().Ready {
+			continue
+		}
+		if d := m.node.QueueDelay(); !found || d < best {
+			best, found = d, true
+		}
+	}
+	return best
 }
 
 // Do submits a request and waits for its completion.

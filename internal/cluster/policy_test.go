@@ -52,6 +52,8 @@ func (f *fakeNode) FeasibleWithin(_ string, _ int, deadline, _ time.Duration) (b
 	return f.predict <= deadline, f.predict, nil
 }
 
+func (f *fakeNode) QueueDelay() time.Duration { return f.predict }
+
 func (f *fakeNode) Stats() core.NodeStats {
 	return core.NodeStats{Name: f.name, State: core.NodeReady}
 }

@@ -161,10 +161,14 @@ func (s *Scheduler) Observe(dec Decision, res *opencl.Result) error {
 // serving pipeline calls it after every batch attempt.
 func (s *Scheduler) ReportExecution(dev string, err error) {
 	if err != nil {
-		s.monitor().recordError(dev)
+		if s.monitor().recordError(dev) {
+			s.invalidateDecisions() // quarantine transition changes fencing
+		}
 		return
 	}
-	s.monitor().recordSuccess(dev)
+	if s.monitor().recordSuccess(dev) {
+		s.invalidateDecisions() // readmission transition changes fencing
+	}
 }
 
 // Quarantined lists the devices currently fenced off by the failure
@@ -197,6 +201,7 @@ func (s *Scheduler) ProbeQuarantined(now time.Duration) []string {
 			continue // still failing: stay quarantined
 		}
 		if h.recordSuccess(dev) {
+			s.invalidateDecisions() // readmission transition changes fencing
 			readmitted = append(readmitted, dev)
 		}
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"bomw/internal/trace"
@@ -23,11 +24,15 @@ type Batcher struct {
 
 // Batch is one aggregated dispatch unit.
 type Batch struct {
-	Model    string
-	Size     int
-	FirstAt  time.Duration // arrival of the oldest aggregated sample
-	FlushAt  time.Duration // when the batch was released to the scheduler
-	Requests int           // number of aggregated requests
+	Model   string
+	Size    int
+	FirstAt time.Duration // arrival of the oldest aggregated sample
+	FlushAt time.Duration // when the batch was released to the scheduler
+	// Requests counts the aggregated requests attributed to this batch.
+	// A request split across batches (its Batch exceeded the remaining
+	// MaxBatch capacity) counts toward the first batch it landed in, so
+	// summing Requests over all batches equals the trace length.
+	Requests int
 }
 
 // Wait returns the aggregation delay the oldest sample paid.
@@ -81,8 +86,27 @@ func (b *Batcher) Aggregate(tr trace.Trace) ([]Batch, error) {
 		}
 		p.size += req.Batch
 		p.requests++
-		if p.size >= b.MaxBatch {
-			flush(req.Model, req.At)
+		// Emit at most MaxBatch samples per batch. A request larger than
+		// the remaining capacity is split: full MaxBatch slices flush now
+		// and the remainder opens a fresh pending batch anchored at this
+		// arrival, so no emitted batch ever exceeds MaxBatch. The split
+		// request counts toward the first batch it lands in only, keeping
+		// sum(Requests) equal to the trace length.
+		for p.size >= b.MaxBatch {
+			out = append(out, Batch{
+				Model:    req.Model,
+				Size:     b.MaxBatch,
+				FirstAt:  p.firstAt,
+				FlushAt:  req.At,
+				Requests: p.requests,
+			})
+			rest := p.size - b.MaxBatch
+			delete(open, req.Model)
+			if rest == 0 {
+				break
+			}
+			p = &pending{size: rest, firstAt: req.At}
+			open[req.Model] = p
 		}
 	}
 	// Flush stragglers at their window boundary.
@@ -94,12 +118,14 @@ func (b *Batcher) Aggregate(tr trace.Trace) ([]Batch, error) {
 	return out, nil
 }
 
+// sortBatches restores dispatch order by FlushAt. Stability matters:
+// batches flushed at the same instant (a size trigger splitting one
+// oversized request, or two models' windows expiring together) must
+// keep their emission order. The previous insertion sort was stable too
+// but quadratic — minutes of host time on a 1M-event trace — so this is
+// sort.SliceStable (O(n log n)), guarded by a large-trace test.
 func sortBatches(bs []Batch) {
-	for i := 1; i < len(bs); i++ {
-		for j := i; j > 0 && bs[j].FlushAt < bs[j-1].FlushAt; j-- {
-			bs[j], bs[j-1] = bs[j-1], bs[j]
-		}
-	}
+	sort.SliceStable(bs, func(i, j int) bool { return bs[i].FlushAt < bs[j].FlushAt })
 }
 
 // ReplayBatched aggregates the trace through the batcher and replays the
@@ -121,7 +147,7 @@ func (s *Scheduler) ReplayBatched(tr trace.Trace, b *Batcher, pol Policy) (Repla
 		res.Requests += batch.Requests
 		res.TotalSamples += int64(batch.Size)
 		res.TotalEnergyJ += out.EnergyJ
-		res.record(batch.Wait() + out.Latency())
+		res.Record(batch.Wait() + out.Latency())
 		if out.Completed > res.Makespan {
 			res.Makespan = out.Completed
 		}

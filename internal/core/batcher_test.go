@@ -92,6 +92,109 @@ func TestBatcherKeepsModelsSeparate(t *testing.T) {
 	}
 }
 
+func TestBatcherNeverExceedsMaxBatch(t *testing.T) {
+	// Regression: a request whose Batch exceeds the remaining capacity
+	// used to be folded in whole — a single size-1000 request sailed
+	// through a MaxBatch=32 batcher as one oversized batch. It must be
+	// split into MaxBatch-capped slices with the remainder flushing at
+	// its window.
+	b := &Batcher{Window: 10 * time.Millisecond, MaxBatch: 32}
+	batches, err := b.Aggregate(trace.Trace{{At: time.Millisecond, Model: "m", Batch: 1000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1000 = 31 full slices of 32 plus an 8-sample window flush.
+	if len(batches) != 32 {
+		t.Fatalf("batches = %d, want 32", len(batches))
+	}
+	total, requests := 0, 0
+	for i, bt := range batches {
+		if bt.Size > 32 {
+			t.Fatalf("batch %d size %d exceeds MaxBatch 32", i, bt.Size)
+		}
+		total += bt.Size
+		requests += bt.Requests
+	}
+	if total != 1000 {
+		t.Fatalf("samples emitted = %d, want 1000", total)
+	}
+	if requests != 1 {
+		t.Fatalf("requests attributed = %d, want 1 (split request counts once)", requests)
+	}
+	for i := 0; i < 31; i++ {
+		if batches[i].Size != 32 || batches[i].FlushAt != time.Millisecond {
+			t.Fatalf("slice %d = %+v, want size 32 flushed at arrival", i, batches[i])
+		}
+	}
+	last := batches[31]
+	if last.Size != 8 || last.FlushAt != 11*time.Millisecond {
+		t.Fatalf("remainder = %+v, want size 8 flushed at window boundary", last)
+	}
+}
+
+func TestBatcherSplitCarriesRemainderIntoPending(t *testing.T) {
+	// A partially filled pending batch plus an arriving request that
+	// overflows it: the emitted batch is capped at exactly MaxBatch and
+	// the overflow keeps aggregating with later arrivals.
+	b := &Batcher{Window: 10 * time.Millisecond, MaxBatch: 32}
+	batches, err := b.Aggregate(trace.Trace{
+		{At: 0, Model: "m", Batch: 20},
+		{At: time.Millisecond, Model: "m", Batch: 16},    // 36 ≥ 32: emit 32, carry 4
+		{At: 2 * time.Millisecond, Model: "m", Batch: 3}, // joins the carried 4
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) != 2 {
+		t.Fatalf("batches = %d, want 2: %+v", len(batches), batches)
+	}
+	if batches[0].Size != 32 || batches[0].FlushAt != time.Millisecond || batches[0].Requests != 2 {
+		t.Fatalf("capped batch = %+v, want size 32 at 1ms with 2 requests", batches[0])
+	}
+	if batches[1].Size != 7 || batches[1].FirstAt != time.Millisecond || batches[1].Requests != 1 {
+		t.Fatalf("carried batch = %+v, want size 7 anchored at the split arrival", batches[1])
+	}
+}
+
+func TestSortBatchesStableAndFast(t *testing.T) {
+	// Stability: equal-FlushAt batches must keep their emission order
+	// (dispatch order is the tiebreak the pipeline relies on). Scale: the
+	// old O(n²) insertion sort took minutes on traces this size — the
+	// test would time out against it.
+	const n = 100_000
+	bs := make([]Batch, 0, n)
+	for i := 0; i < n; i++ {
+		bs = append(bs, Batch{
+			Model:   "m",
+			Size:    i, // emission sequence number, for the stability check
+			FlushAt: time.Duration((n-i)%997) * time.Millisecond,
+		})
+	}
+	sortBatches(bs)
+	for i := 1; i < len(bs); i++ {
+		if bs[i].FlushAt < bs[i-1].FlushAt {
+			t.Fatalf("unsorted at %d: %v after %v", i, bs[i].FlushAt, bs[i-1].FlushAt)
+		}
+		if bs[i].FlushAt == bs[i-1].FlushAt && bs[i].Size < bs[i-1].Size {
+			t.Fatalf("stability violated at %d: emission %d sorted before %d", i, bs[i-1].Size, bs[i].Size)
+		}
+	}
+}
+
+func BenchmarkSortBatches(b *testing.B) {
+	const n = 200_000
+	src := make([]Batch, n)
+	for i := range src {
+		src[i] = Batch{FlushAt: time.Duration((n-i)%9973) * time.Microsecond}
+	}
+	work := make([]Batch, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, src)
+		sortBatches(work)
+	}
+}
+
 func TestReplayBatchedTradeoff(t *testing.T) {
 	// The batching trade-off of §IV-C: aggregating single-sample arrivals
 	// into batches must raise sustained throughput (fewer fixed costs per

@@ -31,8 +31,14 @@ import (
 type Dispatcher struct {
 	rt *opencl.Runtime
 
+	// specs holds registered model specs. It is a sync.Map because Spec
+	// sits on the serving pipeline's per-request admission path: a mutex
+	// here serialises every Submit across all models, while loads are
+	// rare (models register once) and lock-free reads are exactly the
+	// sync.Map sweet spot.
+	specs sync.Map // model name → *nn.Spec
+
 	mu      sync.Mutex
-	specs   map[string]*nn.Spec
 	nets    map[string]*nn.Network
 	weights map[string][]byte // serialized weight buffers, per model
 }
@@ -41,7 +47,6 @@ type Dispatcher struct {
 func NewDispatcher(rt *opencl.Runtime) *Dispatcher {
 	return &Dispatcher{
 		rt:      rt,
-		specs:   map[string]*nn.Spec{},
 		nets:    map[string]*nn.Network{},
 		weights: map[string][]byte{},
 	}
@@ -64,21 +69,19 @@ func (d *Dispatcher) Load(spec *nn.Spec, seed int64) (*nn.Network, error) {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.specs[spec.Name] = spec
+	d.specs.Store(spec.Name, spec)
 	d.nets[spec.Name] = net
 	d.weights[spec.Name] = buf.Bytes()
 	return net, nil
 }
 
-// Spec returns the registered spec for a model.
+// Spec returns the registered spec for a model. Lock-free: this is the
+// admission hot path (once per Submit).
 func (d *Dispatcher) Spec(model string) (*nn.Spec, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	s, ok := d.specs[model]
-	if !ok {
-		return nil, fmt.Errorf("core: model %q not loaded", model)
+	if s, ok := d.specs.Load(model); ok {
+		return s.(*nn.Spec), nil
 	}
-	return s, nil
+	return nil, fmt.Errorf("core: model %q not loaded", model)
 }
 
 // Network returns the built network for a model.

@@ -64,7 +64,7 @@ func (s *Scheduler) ReplayMixed(reqs []MixedRequest) (MixedReplayResult, error) 
 			r.Requests++
 			r.TotalSamples += int64(req.Batch)
 			r.TotalEnergyJ += res.EnergyJ
-			r.record(res.Latency())
+			r.Record(res.Latency())
 			if res.Completed > r.Makespan {
 				r.Makespan = res.Completed
 			}

@@ -163,7 +163,7 @@ func (n *Node) Do(ctx context.Context, req PipelineRequest) (Completion, error) 
 	if err != nil {
 		return Completion{}, err
 	}
-	return fut.Wait(ctx)
+	return fut.waitRelease(ctx)
 }
 
 // FeasibleWithin predicts whether this node can complete a batch within
@@ -177,6 +177,10 @@ func (n *Node) FeasibleWithin(model string, batch int, deadline, now time.Durati
 // Load is the node's instantaneous occupancy (admission queue plus
 // batches in flight) — the least-loaded router's signal.
 func (n *Node) Load() int64 { return n.pipe.Load() }
+
+// QueueDelay is the node pipeline's backlog estimate — the delay new
+// work would observe behind already-queued batches on its worst device.
+func (n *Node) QueueDelay() time.Duration { return n.pipe.QueueDelay() }
 
 // Stats snapshots the node's serving activity.
 func (n *Node) Stats() NodeStats {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -32,12 +33,18 @@ import (
 // (2) Live batching: arriving requests aggregate per (model, policy)
 // under the offline Batcher's Window/MaxBatch semantics, but flushed by
 // wall-clock timers and size triggers instead of offline trace folding.
-// The batcher is work-conserving (concurrency-aware): while the system
-// is idle a request dispatches immediately; batches only form while
-// earlier work is in flight, so batching cost is paid exactly when it
-// buys device efficiency (§IV-C: batch size is the decisive variable).
-// Requests whose context ended or whose deadline passed while
-// aggregating are culled here, before any device time is spent.
+// The batching front-end is sharded: each (model, policy) aggregation
+// key hashes to one of AdmitShards independent admit loops, so distinct
+// models batch and flush in parallel instead of funnelling through one
+// global goroutine, while every request stream for one key still lands
+// on a single shard — per-key aggregation and dispatch order are
+// identical to the unsharded pipeline. The batcher is work-conserving
+// (concurrency-aware): while the system is idle a request dispatches
+// immediately; batches only form while earlier work is in flight, so
+// batching cost is paid exactly when it buys device efficiency (§IV-C:
+// batch size is the decisive variable). Requests whose context ended or
+// whose deadline passed while aggregating are culled here, before any
+// device time is spent.
 //
 // (3) Per-device worker queues: one worker goroutine per device executes
 // batches in order, culling dead requests again at dequeue — a cancelled
@@ -59,19 +66,22 @@ type Pipeline struct {
 	sched *Scheduler
 	cfg   PipelineConfig
 
-	admit   chan *pipeReq
-	flushCh chan flushMsg
-	nudge   chan struct{} // worker → admit loop: system went idle
+	// shards are the parallel admission/batching loops; an aggregation
+	// key always hashes to the same shard (shardMask is len(shards)-1,
+	// a power of two).
+	shards    []*admitShard
+	shardMask uint32
+	shardWG   sync.WaitGroup
+
 	closing chan struct{} // Close() was called: drain and stop
 	done    chan struct{} // fully drained: releases window timers
 	drained chan struct{}
 
-	closeMu sync.Mutex
+	// closeMu gates admission against Close: Submit holds the read side
+	// across its shard hand-off (many submitters in parallel), Close
+	// takes the write side once to flip closed.
+	closeMu sync.RWMutex
 	closed  bool
-
-	// admit-loop-local state (touched only by admitLoop).
-	aggs map[aggKey]*aggregate
-	gen  uint64
 
 	queues   map[string]*deviceQueue
 	inflight atomic.Int64   // batches queued or executing
@@ -111,8 +121,18 @@ type PipelineConfig struct {
 	// samples (the Batcher.MaxBatch semantics). Defaults to 64.
 	MaxBatch int
 	// QueueDepth bounds the admission queue; a full queue sheds load
-	// (Submit returns ErrAdmissionFull). Defaults to 256.
+	// (Submit returns ErrAdmissionFull). Defaults to 256. The depth is
+	// divided across AdmitShards (at least one slot per shard), so a
+	// single hot model sheds at roughly QueueDepth/AdmitShards queued
+	// requests — backpressure stays proportional to the paths actually
+	// congested instead of letting one model consume the whole budget.
 	QueueDepth int
+	// AdmitShards is the number of parallel admission/batching loops.
+	// Aggregation keys (model, policy, estimate-vs-classify) hash to a
+	// shard, so requests for one key always meet the same batcher while
+	// distinct models admit and flush concurrently. Rounded up to a
+	// power of two; defaults to GOMAXPROCS capped at 8.
+	AdmitShards int
 	// DeviceQueueDepth bounds each device's worker queue; full device
 	// queues exert backpressure on batch flushing, which in turn fills
 	// admission. Defaults to 8.
@@ -172,6 +192,16 @@ func (c *PipelineConfig) fillDefaults() {
 	}
 	if c.DeviceQueueDepth <= 0 {
 		c.DeviceQueueDepth = 8
+	}
+	if c.AdmitShards <= 0 {
+		c.AdmitShards = runtime.GOMAXPROCS(0)
+		if c.AdmitShards > 8 {
+			c.AdmitShards = 8
+		}
+	}
+	// Round up to a power of two so shard selection is a mask, not a mod.
+	for c.AdmitShards&(c.AdmitShards-1) != 0 {
+		c.AdmitShards++
 	}
 	if c.Clock == nil {
 		//bomw:wallclock the default serving clock IS the wall clock, anchored at pipeline creation; simulated callers inject their own Clock
@@ -253,8 +283,55 @@ type Completion struct {
 }
 
 // Future resolves to a Completion exactly once.
+//
+// Futures are pooled. The pool-safety invariant: a future returns to the
+// pool only through the caller that consumed its completion
+// (waitRelease), so a resolved future is never recycled while any waiter
+// still selects on it — an abandoned Wait (context cancelled) pins its
+// future out of the pool forever rather than risk handing the next
+// request's completion to a stale waiter. The generation counter makes
+// an (erroneous) second release of the same handle a no-op instead of a
+// double-free.
 type Future struct {
-	ch chan Completion
+	ch  chan Completion
+	gen atomic.Uint64
+}
+
+var futurePool = sync.Pool{New: func() any { return &Future{ch: make(chan Completion, 1)} }}
+
+func getFuture() *Future { return futurePool.Get().(*Future) }
+
+// waitRelease waits like Wait and, on a successful receive, returns the
+// future to the pool. Callers must be the future's sole consumer and
+// must not touch f afterwards — this is the internal fast path behind
+// Do, Node.Do and Play. A ctx abort leaves the future un-pooled: a
+// resolution may still be in flight, and the caller may legitimately
+// Wait again.
+func (f *Future) waitRelease(ctx context.Context) (Completion, error) {
+	gen := f.gen.Load()
+	if ctx.Done() == nil {
+		// Background-ish context: nothing to race the completion
+		// against, so skip selectgo for a plain channel receive. This is
+		// the hot closed-loop serving path.
+		c := <-f.ch
+		if f.gen.CompareAndSwap(gen, gen+1) {
+			futurePool.Put(f)
+		}
+		return c, nil
+	}
+	select {
+	case c := <-f.ch:
+		// Sole-consumer contract holds and the buffered slot is empty:
+		// the future can serve the next request. The CAS loses only if
+		// another (buggy) release of this generation beat us — then the
+		// pool already owns f and putting it again would double-issue it.
+		if f.gen.CompareAndSwap(gen, gen+1) {
+			futurePool.Put(f)
+		}
+		return c, nil
+	case <-ctx.Done():
+		return Completion{}, ctx.Err()
+	}
 }
 
 // Wait blocks until the request completes or ctx is done. A ctx error
@@ -262,8 +339,12 @@ type Future struct {
 // pipeline culls the request at the next stage boundary and resolves
 // the future with the context error; a Wait with a fresh context still
 // observes that completion (delivery is never lost to an abandoned
-// wait).
+// wait). A future consumed through Wait is never recycled, so holding
+// or re-Waiting it stays safe indefinitely.
 func (f *Future) Wait(ctx context.Context) (Completion, error) {
+	if ctx.Done() == nil {
+		return <-f.ch, nil
+	}
 	select {
 	case c := <-f.ch:
 		return c, nil
@@ -308,15 +389,52 @@ type PipelineStats struct {
 }
 
 // pipeReq is one admitted request moving through the stages.
+//
+// pipeReqs are pooled and reference-counted. The flow path (aggregate →
+// batch → worker) owns one reference from Submit; a hedge snapshot
+// retains one more per request it copies. A request returns to the pool
+// only when every holder has released it, and every release site runs
+// after the request's future was resolved (finish) — so a pooled
+// pipeReq is never resurrected under a stage that still reads it. The
+// Future is NOT reset with the pipeReq: it detaches at release and is
+// recycled separately by whoever consumes the completion.
 type pipeReq struct {
 	//bomw:ctxparam pipeReq is the per-request carrier: stages observe this request's cancellation at every queue boundary, so the ctx travels with it
 	ctx      context.Context
 	req      PipelineRequest
+	key      aggKey        // aggregation key, computed once at Submit
 	at       time.Duration // virtual arrival
 	deadline time.Duration // absolute SLO expiry on the pipeline clock; 0 = none
 	size     int
 	fut      *Future
-	done     atomic.Bool // future resolved (guards exactly-once delivery)
+	done     atomic.Bool  // future resolved (guards exactly-once delivery)
+	refs     atomic.Int32 // holders: flow path + hedge snapshot
+}
+
+var reqPool = sync.Pool{New: func() any { return &pipeReq{} }}
+
+func getPipeReq() *pipeReq {
+	r := reqPool.Get().(*pipeReq)
+	r.refs.Store(1)
+	r.done.Store(false)
+	return r
+}
+
+// retain adds a holder (the hedge snapshot path).
+func (r *pipeReq) retain() { r.refs.Add(1) }
+
+// releaseReq drops one holder; the last one clears the request and
+// returns it to the pool. Callers must have finished (or observed
+// someone else finish) the request's future before releasing.
+func (p *Pipeline) releaseReq(r *pipeReq) {
+	if r.refs.Add(-1) == 0 {
+		r.ctx = nil
+		r.req = PipelineRequest{}
+		r.key = aggKey{}
+		r.at, r.deadline, r.size = 0, 0, 0
+		r.fut = nil
+		reqPool.Put(r)
+	}
 }
 
 // dead reports whether the request must be culled at virtual time now
@@ -340,15 +458,71 @@ type aggKey struct {
 }
 
 type aggregate struct {
-	gen     uint64
-	reqs    []*pipeReq
-	size    int
-	firstAt time.Duration
+	gen        uint64
+	reqs       []*pipeReq
+	size       int
+	firstAt    time.Duration
+	timerArmed bool
+	wt         *windowTimer // reusable window timer; survives pool cycles
+}
+
+// windowTimer is a reusable window-flush timer. The fields below t are
+// rewritten by the owning shard goroutine only while the timer is
+// provably disarmed (freshly allocated, or Stop returned true), so the
+// fire callback — synchronised with the arming Reset by the runtime
+// timer machinery — always reads the values of its own arming. A timer
+// whose Stop returns false has a callback in flight reading the old
+// values; it is abandoned (the callback's flush message goes stale via
+// the generation check) and the aggregate allocates a fresh one.
+type windowTimer struct {
+	t   *time.Timer
+	p   *Pipeline
+	sh  *admitShard
+	key aggKey
+	gen uint64
+}
+
+func (wt *windowTimer) fire() {
+	select {
+	case wt.sh.flushCh <- flushMsg{key: wt.key, gen: wt.gen}:
+	case <-wt.p.done:
+	}
 }
 
 type flushMsg struct {
 	key aggKey
 	gen uint64
+}
+
+// admitShard is one independent admission/batching loop. All state below
+// the channels is loop-local: only this shard's goroutine touches it.
+type admitShard struct {
+	admit   chan *pipeReq
+	flushCh chan flushMsg
+	nudge   chan struct{} // worker → shard: system went idle
+
+	aggs map[aggKey]*aggregate
+	gen  uint64
+
+	// openAggs mirrors len(aggs) for readers outside the shard goroutine
+	// (batchDone's nudge filter). Best-effort: a stale read costs at most
+	// one skipped opportunistic nudge, never a stuck aggregate.
+	openAggs atomic.Int32
+}
+
+// shardFor hashes an aggregation key to its shard (FNV-1a over the model
+// name, mixed with policy and path). Same key → same shard, always: the
+// per-key batching semantics are those of a single admit loop.
+func (p *Pipeline) shardFor(key aggKey) *admitShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(key.model); i++ {
+		h = (h ^ uint32(key.model[i])) * 16777619
+	}
+	h ^= uint32(key.pol) * 0x9e3779b1
+	if key.estimate {
+		h ^= 0x85ebca6b
+	}
+	return p.shards[h&p.shardMask]
 }
 
 // batchWork is one flushed batch travelling to a device worker.
@@ -364,6 +538,58 @@ type batchWork struct {
 
 	hedgeReqs  []*pipeReq // snapshot for the hedge path (immutable)
 	hedgeTimer *time.Timer
+}
+
+// Pools for the per-batch carriers. Both keep their []*pipeReq backing
+// across reuse — the flush path copy-culls the aggregate's requests into
+// the batchWork's own backing, so steady-state batching allocates
+// neither carriers nor slices. Hedged batches opt out of pooling (the
+// timer closure and its snapshot alias the work), trading a rare
+// allocation for an obviously safe lifecycle.
+var (
+	aggPool = sync.Pool{New: func() any { return &aggregate{} }}
+	bwPool  = sync.Pool{New: func() any { return &batchWork{} }}
+)
+
+func getAggregate(gen uint64, firstAt time.Duration) *aggregate {
+	a := aggPool.Get().(*aggregate)
+	a.gen, a.firstAt, a.size, a.timerArmed = gen, firstAt, 0, false
+	a.reqs = a.reqs[:0] // backing retained from the previous cycle
+	return a
+}
+
+func putAggregate(a *aggregate) {
+	clearReqs(a.reqs)
+	a.reqs = a.reqs[:0]
+	aggPool.Put(a)
+}
+
+// clearReqs drops the pipeReq aliases so a pooled backing array never
+// pins (or worse, resurrects) requests from a previous cycle.
+func clearReqs(s []*pipeReq) {
+	for i := range s {
+		s[i] = nil
+	}
+}
+
+func getBatchWork() *batchWork {
+	w := bwPool.Get().(*batchWork)
+	reqs := w.reqs[:0] // keep the recycled backing
+	*w = batchWork{}
+	w.reqs = reqs
+	return w
+}
+
+// retireBatchWork recycles a finished batch. Hedged batches are left to
+// the GC: the hedge timer closure and its snapshot may still hold the
+// work.
+func retireBatchWork(w *batchWork) {
+	if w.hedgeTimer != nil {
+		return
+	}
+	clearReqs(w.reqs)
+	w.reqs = w.reqs[:0]
+	bwPool.Put(w)
 }
 
 // deviceQueue tracks one device worker's occupancy in two currencies:
@@ -448,23 +674,34 @@ func (dq *deviceQueue) queued() int {
 }
 
 // NewPipeline builds and starts the serving pipeline over a scheduler:
-// one admit/batching goroutine plus one worker per device. The pipeline
-// registers its queue occupancy with the scheduler so spill decisions
-// (Config.MaxQueueDelay) observe real queued work; only one pipeline
-// should serve a scheduler at a time. Call Close to drain and stop.
+// AdmitShards admit/batching goroutines plus one worker per device. The
+// pipeline registers its queue occupancy with the scheduler so spill
+// decisions (Config.MaxQueueDelay) observe real queued work; only one
+// pipeline should serve a scheduler at a time. Call Close to drain and
+// stop.
 func NewPipeline(sched *Scheduler, cfg PipelineConfig) *Pipeline {
 	cfg.fillDefaults()
 	p := &Pipeline{
 		sched:   sched,
 		cfg:     cfg,
-		admit:   make(chan *pipeReq, cfg.QueueDepth),
-		flushCh: make(chan flushMsg),
-		nudge:   make(chan struct{}, 1),
 		closing: make(chan struct{}),
 		done:    make(chan struct{}),
 		drained: make(chan struct{}),
-		aggs:    map[aggKey]*aggregate{},
 		queues:  map[string]*deviceQueue{},
+	}
+	perShard := cfg.QueueDepth / cfg.AdmitShards
+	if perShard < 1 {
+		perShard = 1
+	}
+	p.shards = make([]*admitShard, cfg.AdmitShards)
+	p.shardMask = uint32(cfg.AdmitShards - 1)
+	for i := range p.shards {
+		p.shards[i] = &admitShard{
+			admit:   make(chan *pipeReq, perShard),
+			flushCh: make(chan flushMsg),
+			nudge:   make(chan struct{}, 1),
+			aggs:    map[aggKey]*aggregate{},
+		}
 	}
 	for _, name := range sched.Devices() {
 		dq := &deviceQueue{name: name, ch: make(chan *batchWork, cfg.DeviceQueueDepth)}
@@ -479,7 +716,10 @@ func NewPipeline(sched *Scheduler, cfg PipelineConfig) *Pipeline {
 		p.workers.Add(1)
 		go p.prober()
 	}
-	go p.admitLoop()
+	for _, sh := range p.shards {
+		p.shardWG.Add(1)
+		go p.shardLoop(sh)
+	}
 	return p
 }
 
@@ -584,25 +824,49 @@ func (p *Pipeline) Submit(ctx context.Context, req PipelineRequest) (*Future, er
 		}
 	}
 
-	r := &pipeReq{ctx: ctx, req: req, size: size, fut: &Future{ch: make(chan Completion, 1)}}
-	p.closeMu.Lock()
+	r := getPipeReq()
+	r.ctx, r.req, r.size = ctx, req, size
+	r.key = aggKey{model: req.Model, pol: req.Policy, estimate: req.Input == nil}
+	r.fut = getFuture()
+	sh := p.shardFor(r.key)
+	p.closeMu.RLock()
 	if p.closed {
-		p.closeMu.Unlock()
+		p.closeMu.RUnlock()
+		recycleUnissued(r.fut)
+		p.releaseReq(r)
 		return nil, ErrPipelineClosed
 	}
-	r.at = p.cfg.Clock()
 	if slo > 0 {
+		r.at = p.cfg.Clock()
 		r.deadline = r.at + slo
+	} else {
+		// No deadline math needs the arrival time here: defer the stamp
+		// to the shard's burst drain, where one clock read covers every
+		// request in the burst instead of one read per Submit.
+		r.at = -1
 	}
+	fut := r.fut // capture before the hand-off: r may be recycled the instant the shard owns it
 	select {
-	case p.admit <- r:
+	case sh.admit <- r:
 		p.submitted.Add(1)
-		p.closeMu.Unlock()
-		return r.fut, nil
+		p.closeMu.RUnlock()
+		return fut, nil
 	default:
 		p.shed.Add(1)
-		p.closeMu.Unlock()
+		p.closeMu.RUnlock()
+		recycleUnissued(fut)
+		p.releaseReq(r)
 		return nil, ErrAdmissionFull
+	}
+}
+
+// recycleUnissued returns a future that was never handed to a caller
+// (Submit failed before issuing it): its buffered slot is empty and
+// nobody can be waiting, so it goes straight back to the pool.
+func recycleUnissued(f *Future) {
+	gen := f.gen.Load()
+	if f.gen.CompareAndSwap(gen, gen+1) {
+		futurePool.Put(f)
 	}
 }
 
@@ -613,7 +877,7 @@ func (p *Pipeline) Do(ctx context.Context, req PipelineRequest) (Completion, err
 	if err != nil {
 		return Completion{}, err
 	}
-	return fut.Wait(ctx)
+	return fut.waitRelease(ctx)
 }
 
 // Close stops admission, flushes every open aggregate, drains the
@@ -629,8 +893,22 @@ func (p *Pipeline) Close() {
 	}
 	p.closed = true
 	p.closeMu.Unlock()
+	// No Submit can be mid-send past this point (sends happen under the
+	// read lock), so once the shards observe closing and self-drain,
+	// admission is empty for good.
 	close(p.closing)
-	<-p.drained
+	p.shardWG.Wait()
+	for _, dq := range p.queues {
+		close(dq.ch)
+	}
+	// Wait for the workers to finish every queued batch (and the prober
+	// to exit) before reporting the pipeline drained: the Close contract
+	// is that every accepted request's future has resolved. Workers still
+	// signal idleness on the buffered nudge channels; nothing reads them
+	// anymore, which is fine — sends are non-blocking.
+	p.workers.Wait()
+	close(p.done) // release pending window timers
+	close(p.drained)
 	p.sched.SetQueueProbe(nil)
 }
 
@@ -640,7 +918,26 @@ func (p *Pipeline) Close() {
 // decision, so it deliberately avoids the locks and map allocation of
 // Stats.
 func (p *Pipeline) Load() int64 {
-	return int64(len(p.admit)) + p.inflight.Load()
+	n := p.inflight.Load()
+	for _, sh := range p.shards {
+		n += int64(len(sh.admit))
+	}
+	return n
+}
+
+// QueueDelay estimates the delay new work would observe behind already
+// queued batches — the worst per-device occupancy estimate (virtual or
+// clock EWMA, whichever is larger). Servers derive the Retry-After hint
+// of admission-shed responses from it, so clients back off proportional
+// to the actual backlog instead of a fixed guess.
+func (p *Pipeline) QueueDelay() time.Duration {
+	var worst time.Duration
+	for _, dq := range p.queues {
+		if o := dq.occupancy(); o > worst {
+			worst = o
+		}
+	}
+	return worst
 }
 
 // Stats snapshots pipeline activity.
@@ -672,98 +969,159 @@ func (p *Pipeline) Stats() PipelineStats {
 	return st
 }
 
-// ---- stage 2: the admit/batching loop ----------------------------------
+// ---- stage 2: the sharded admit/batching loops -------------------------
 
-func (p *Pipeline) admitLoop() {
+func (p *Pipeline) shardLoop(sh *admitShard) {
+	defer p.shardWG.Done()
 	for {
 		select {
-		case r := <-p.admit:
-			p.ingest(r)
-		case m := <-p.flushCh:
-			if p.flushKey(m.key, m.gen) {
+		case r := <-sh.admit:
+			// Greedy burst drain: one clock read covers every request
+			// already queued behind this one — under load the shard pays
+			// one Clock() per wake-up instead of one per request.
+			now := p.cfg.Clock()
+			p.ingest(sh, r, now)
+			sh.drainAdmit(p, now)
+			if len(sh.aggs) != 0 && !p.cfg.HoldWindow && p.idle() {
+				// The system looks drained, but "idle" here often means
+				// the shard outran a wave of clients that are runnable
+				// and about to submit (on few cores, the admission send
+				// readies this shard ahead of them). Yield once so their
+				// requests land, then re-drain — the difference between
+				// dispatching a splintered batch and a full one.
+				runtime.Gosched()
+				sh.drainAdmit(p, now)
+			}
+			p.idleSweep(sh, now)
+			if len(sh.aggs) != 0 {
+				p.armTimers(sh)
+			}
+		case m := <-sh.flushCh:
+			if p.flushKey(sh, m.key, m.gen, p.cfg.Clock()) {
 				p.windowFl.Add(1)
 			}
-		case <-p.nudge:
+		case <-sh.nudge:
 			// A worker drained the system: dispatch whatever aggregated
 			// while it was busy instead of waiting out the window.
-			if !p.cfg.HoldWindow && p.idle() {
-				for key, agg := range p.aggs {
-					if p.flushKey(key, agg.gen) {
-						p.idleFl.Add(1)
-					}
-				}
-			}
+			p.idleSweep(sh, p.cfg.Clock())
 		case <-p.closing:
-			p.drain()
+			p.drainShard(sh)
 			return
 		}
 	}
 }
 
-// drain empties admission, flushes all aggregates and stops the workers.
-func (p *Pipeline) drain() {
+// drainAdmit greedily ingests everything already queued on the shard's
+// admission channel.
+func (sh *admitShard) drainAdmit(p *Pipeline, now time.Duration) {
 	for {
 		select {
-		case r := <-p.admit:
-			p.ingest(r)
+		case r := <-sh.admit:
+			p.ingest(sh, r, now)
+		default:
+			return
+		}
+	}
+}
+
+// idleSweep is the work-conserving flush: once nothing is in flight and
+// nothing is queued, every open aggregate dispatches immediately instead
+// of waiting out its window.
+func (p *Pipeline) idleSweep(sh *admitShard, now time.Duration) {
+	if len(sh.aggs) == 0 || p.cfg.HoldWindow || !p.idle() {
+		return
+	}
+	for key, agg := range sh.aggs {
+		if p.flushKey(sh, key, agg.gen, now) {
+			p.idleFl.Add(1)
+		}
+	}
+}
+
+// drainShard empties this shard's admission queue and flushes its open
+// aggregates. By the time closing is observable, Submit can no longer
+// send (Close flipped closed under the write lock first), so one
+// non-blocking sweep drains admission for good.
+func (p *Pipeline) drainShard(sh *admitShard) {
+	for {
+		select {
+		case r := <-sh.admit:
+			p.ingest(sh, r, p.cfg.Clock())
 			continue
 		default:
 		}
 		break
 	}
-	for key, agg := range p.aggs {
-		if p.flushKey(key, agg.gen) {
+	now := p.cfg.Clock()
+	for key, agg := range sh.aggs {
+		if p.flushKey(sh, key, agg.gen, now) {
 			p.drainFl.Add(1)
 		}
 	}
-	for _, dq := range p.queues {
-		close(dq.ch)
-	}
-	// Wait for the workers to finish every queued batch (and the prober
-	// to exit) before reporting the pipeline drained: the Close contract
-	// is that every accepted request's future has resolved.
-	p.workers.Wait()
-	// Workers signal idleness on the buffered nudge channel; nothing
-	// reads it anymore, which is fine — sends are non-blocking.
-	close(p.done) // release pending window timers
-	close(p.drained)
 }
 
 func (p *Pipeline) idle() bool {
-	return p.inflight.Load() == 0 && len(p.admit) == 0
+	if p.inflight.Load() != 0 {
+		return false
+	}
+	for _, sh := range p.shards {
+		if len(sh.admit) != 0 {
+			return false
+		}
+	}
+	return true
 }
 
-func (p *Pipeline) ingest(r *pipeReq) {
-	if err := r.dead(p.cfg.Clock()); err != nil {
-		p.finish(r, Completion{Err: err})
+func (p *Pipeline) ingest(sh *admitShard, r *pipeReq, now time.Duration) {
+	if r.at < 0 {
+		r.at = now // deferred arrival stamp (no-SLO fast path in Submit)
+	}
+	if err := r.dead(now); err != nil {
+		p.finish(r, &Completion{Err: err})
+		p.releaseReq(r)
 		return
 	}
-	key := aggKey{model: r.req.Model, pol: r.req.Policy, estimate: r.req.Input == nil}
-	agg := p.aggs[key]
+	key := r.key
+	agg := sh.aggs[key]
 	if agg == nil {
-		p.gen++
-		agg = &aggregate{gen: p.gen, firstAt: r.at}
-		p.aggs[key] = agg
-		gen := agg.gen
-		// Arm the window timer for the oldest request of the aggregate.
-		//bomw:wallclock live batching flushes on real elapsed time — the Window SLO is a wall-clock bound on aggregation delay
-		time.AfterFunc(p.cfg.Window, func() {
-			select {
-			case p.flushCh <- flushMsg{key: key, gen: gen}:
-			case <-p.done:
-			}
-		})
+		sh.gen++
+		agg = getAggregate(sh.gen, r.at)
+		sh.aggs[key] = agg
+		sh.openAggs.Add(1)
 	}
 	agg.reqs = append(agg.reqs, r)
 	agg.size += r.size
-	switch {
-	case agg.size >= p.cfg.MaxBatch:
-		if p.flushKey(key, agg.gen) {
+	if agg.size >= p.cfg.MaxBatch {
+		// The size trigger fires inline; the work-conserving idle flush
+		// runs as a post-drain sweep (idleSweep) so a burst is judged
+		// whole, not per request.
+		if p.flushKey(sh, key, agg.gen, now) {
 			p.sizeFl.Add(1)
 		}
-	case !p.cfg.HoldWindow && p.idle():
-		if p.flushKey(key, agg.gen) {
-			p.idleFl.Add(1)
+	}
+}
+
+// armTimers arms the window timer of every aggregate still open after a
+// burst drain. Arming happens here, not per ingest: an aggregate that
+// forms and flushes within one burst (the common closed-loop rhythm)
+// never touches a timer at all, and the ones that do survive arm exactly
+// once. Armed timers are cancelled on flush and reused across pool
+// cycles, so steady-state batching neither allocates timers nor lets
+// stale ones fire through the runtime timer wheel.
+func (p *Pipeline) armTimers(sh *admitShard) {
+	for key, agg := range sh.aggs {
+		if agg.timerArmed {
+			continue
+		}
+		agg.timerArmed = true
+		if wt := agg.wt; wt != nil {
+			wt.p, wt.sh, wt.key, wt.gen = p, sh, key, agg.gen
+			wt.t.Reset(p.cfg.Window)
+		} else {
+			wt = &windowTimer{p: p, sh: sh, key: key, gen: agg.gen}
+			agg.wt = wt
+			//bomw:wallclock live batching flushes on real elapsed time — the Window SLO is a wall-clock bound on aggregation delay
+			wt.t = time.AfterFunc(p.cfg.Window, wt.fire)
 		}
 	}
 }
@@ -771,16 +1129,21 @@ func (p *Pipeline) ingest(r *pipeReq) {
 // cullLive filters reqs down to the ones still worth executing at
 // virtual time now, resolving dead ones (context ended, deadline
 // passed) with their error and skipping requests another path already
-// resolved. The returned slice reuses reqs' backing array.
+// resolved. Dropped requests lose the flow path's reference here. The
+// returned slice reuses reqs' backing array.
 func (p *Pipeline) cullLive(reqs []*pipeReq, now time.Duration) ([]*pipeReq, int) {
 	live := reqs[:0]
 	size := 0
 	for _, r := range reqs {
 		if r.done.Load() {
-			continue // a hedged execution already resolved it
+			// A hedged execution already resolved it; the flow path is
+			// finished with this request.
+			p.releaseReq(r)
+			continue
 		}
 		if err := r.dead(now); err != nil {
-			p.finish(r, Completion{Err: err})
+			p.finish(r, &Completion{Err: err})
+			p.releaseReq(r)
 			continue
 		}
 		live = append(live, r)
@@ -789,27 +1152,59 @@ func (p *Pipeline) cullLive(reqs []*pipeReq, now time.Duration) ([]*pipeReq, int
 	return live, size
 }
 
-// flushKey dispatches the aggregate identified by (key, gen). Stale
-// generations (already flushed, slot reused) are ignored. Reports
-// whether a batch was actually dispatched.
-func (p *Pipeline) flushKey(key aggKey, gen uint64) bool {
-	agg := p.aggs[key]
+// flushKey dispatches the aggregate identified by (key, gen) on shard
+// sh. Stale generations (already flushed, slot reused) are ignored.
+// Reports whether a batch was actually dispatched.
+func (p *Pipeline) flushKey(sh *admitShard, key aggKey, gen uint64, now time.Duration) bool {
+	agg := sh.aggs[key]
 	if agg == nil || agg.gen != gen {
 		return false
 	}
-	delete(p.aggs, key)
+	delete(sh.aggs, key)
+	sh.openAggs.Add(-1)
+	if agg.timerArmed {
+		// Cancel the pending window timer so it neither fires a stale
+		// flush nor churns the runtime timer wheel. Stop failing means
+		// the fire callback is already in flight with this arming's
+		// values — abandon the timer (the callback's message goes stale
+		// the moment the map entry above is gone) and let the next cycle
+		// allocate a fresh one.
+		if !agg.wt.t.Stop() {
+			agg.wt = nil
+		}
+		agg.timerArmed = false
+	}
 
-	now := p.cfg.Clock()
-	// Cull requests that died while aggregating — before any device time.
-	live, size := p.cullLive(agg.reqs, now)
+	// Copy-cull the aggregate's requests into the batch carrier's own
+	// backing — requests that died while aggregating resolve here,
+	// before any device time — then recycle the aggregate immediately.
+	w := getBatchWork()
+	size := 0
+	for _, r := range agg.reqs {
+		if r.done.Load() {
+			p.releaseReq(r)
+			continue
+		}
+		if err := r.dead(now); err != nil {
+			p.finish(r, &Completion{Err: err})
+			p.releaseReq(r)
+			continue
+		}
+		w.reqs = append(w.reqs, r)
+		size += r.size
+	}
+	putAggregate(agg)
+	live := w.reqs
 	if len(live) == 0 {
+		retireBatchWork(w)
 		return false
 	}
 
 	// The tightest SLO in the batch drives the device pick: a
 	// deadline-carrying batch routes through SelectWithDeadline so the
-	// choice honours the SLO; unconstrained batches use the policy
-	// classifier as before.
+	// choice honours the SLO; unconstrained batches take the memoised
+	// classifier fast path (same decision as Select, minus the feature
+	// extraction and forest walk on repeat (model, bucket) keys).
 	var minDL time.Duration
 	for _, r := range live {
 		if r.deadline > 0 && (minDL == 0 || r.deadline < minDL) {
@@ -828,44 +1223,48 @@ func (p *Pipeline) flushKey(key aggKey, gen uint64) bool {
 		dec = dd.Decision
 		dec.Policy = key.pol
 	} else {
-		dec, err = p.sched.Select(key.model, size, key.pol, now)
+		dec, err = p.sched.SelectCached(key.model, size, key.pol, now)
 	}
 	if err != nil {
 		for _, r := range live {
-			p.finish(r, Completion{Err: err})
+			p.finish(r, &Completion{Err: err})
+			p.releaseReq(r)
 		}
+		retireBatchWork(w)
 		return false
 	}
 	dq := p.queues[dec.Device]
 	if dq == nil { // defensive: scheduler named an unknown device
 		err := fmt.Errorf("core: pipeline has no queue for device %q", dec.Device)
 		for _, r := range live {
-			p.finish(r, Completion{Decision: dec, Err: err})
+			p.finish(r, &Completion{Decision: dec, Err: err})
+			p.releaseReq(r)
 		}
+		retireBatchWork(w)
 		return false
 	}
-	work := &batchWork{
-		key:      key,
-		reqs:     live,
-		size:     size,
-		flushAt:  now,
-		deadline: minDL,
-		dec:      dec,
-	}
-	work.charge, work.clkCharge = dq.chargeBatch(size)
+	w.key, w.size, w.flushAt, w.deadline, w.dec = key, size, now, minDL, dec
+	w.charge, w.clkCharge = dq.chargeBatch(size)
 	if p.cfg.Hedge && minDL > 0 {
-		// Snapshot the request list: the worker compacts work.reqs in
-		// place while the hedge goroutine reads its own copy.
-		work.hedgeReqs = append([]*pipeReq(nil), live...)
+		// Snapshot the request list: the worker compacts w.reqs in place
+		// while the hedge goroutine reads its own copy. Each snapshotted
+		// request is retained for the hedge path; the batch itself opts
+		// out of pooling (retireBatchWork skips hedged work).
+		w.hedgeReqs = append([]*pipeReq(nil), live...)
+		for _, r := range w.hedgeReqs {
+			r.retain()
+		}
 		slack := minDL - now
+		work := w
 		//bomw:wallclock hedging races real stragglers: the half-slack trigger must fire on the wall clock the straggler is stuck on
-		work.hedgeTimer = time.AfterFunc(slack/2, func() { p.hedge(work) })
+		w.hedgeTimer = time.AfterFunc(slack/2, func() { p.hedge(work) })
 	}
 	p.inflight.Add(1)
 	p.batches.Add(1)
 	// A full device queue blocks here: backpressure propagates through
-	// the admit loop into the bounded admission queue, which sheds.
-	dq.ch <- work
+	// the shard's admit loop into its bounded admission queue, which
+	// sheds.
+	dq.ch <- w
 	return true
 }
 
@@ -878,20 +1277,37 @@ func (p *Pipeline) worker(dq *deviceQueue) {
 	}
 }
 
-// batchDone retires one in-flight batch, waking the batcher when the
+// batchDone retires one in-flight batch, waking the batchers when the
 // system went idle.
 func (p *Pipeline) batchDone() {
 	if p.inflight.Add(-1) == 0 {
-		select { // wake the batcher: nothing left to amortise against
-		case p.nudge <- struct{}{}:
-		default:
+		// Wake every shard: nothing left to amortise against, and any of
+		// them may be sitting on an open aggregate. The nudge is sent
+		// even to shards with nothing open — pre-readying the shard here
+		// keeps the next admission send from goready-ing it into the
+		// scheduler's run-next slot ahead of the other just-completed
+		// clients, which would drain a one-request burst and collapse
+		// batching into a serialized request-per-batch regime.
+		for _, sh := range p.shards {
+			select {
+			case sh.nudge <- struct{}{}:
+			default:
+			}
 		}
 	}
 }
 
+// stopHedge disarms a pending hedge. When Stop reports the timer never
+// fired (and now never will), the hedge function is guaranteed not to
+// run, so this path owns — and releases — the snapshot's references;
+// otherwise hedge() is running (or already ran) and its deferred
+// release owns them. Exactly one path releases.
 func (p *Pipeline) stopHedge(w *batchWork) {
-	if w.hedgeTimer != nil {
-		w.hedgeTimer.Stop()
+	if w.hedgeTimer != nil && w.hedgeTimer.Stop() {
+		for i, r := range w.hedgeReqs {
+			p.releaseReq(r)
+			w.hedgeReqs[i] = nil
+		}
 	}
 }
 
@@ -944,6 +1360,7 @@ func (p *Pipeline) runBatch(dq *deviceQueue, w *batchWork) {
 		dq.completeBatch(w.charge, w.clkCharge, 0, 0, 0)
 		p.stopHedge(w)
 		p.batchDone()
+		retireBatchWork(w)
 		return
 	}
 	dec := w.dec
@@ -987,8 +1404,10 @@ func (p *Pipeline) runBatch(dq *deviceQueue, w *batchWork) {
 	p.stopHedge(w)
 	if size == 0 {
 		// Every surviving request expired or was cancelled during the
-		// retry loop; their futures are already resolved.
+		// retry loop; their futures are resolved and their flow
+		// references released (cullLive).
 		p.batchDone()
+		retireBatchWork(w)
 		return
 	}
 	if err == nil {
@@ -998,11 +1417,17 @@ func (p *Pipeline) runBatch(dq *deviceQueue, w *batchWork) {
 	if err != nil {
 		p.execFails.Add(1)
 		for _, r := range live {
-			p.finish(r, Completion{Decision: dec, Err: err})
+			p.finish(r, &Completion{Decision: dec, Err: err})
+			p.releaseReq(r)
 		}
+		retireBatchWork(w)
 		return
 	}
 	p.deliver(live, size, w.flushAt, dec, res, false)
+	for _, r := range live {
+		p.releaseReq(r)
+	}
+	retireBatchWork(w)
 }
 
 // hedge re-executes a straggling deadline-carrying batch on the
@@ -1014,6 +1439,17 @@ func (p *Pipeline) runBatch(dq *deviceQueue, w *batchWork) {
 // at dequeue and skips execution entirely — the hedge effectively
 // cancelled it.
 func (p *Pipeline) hedge(w *batchWork) {
+	// This path owns the snapshot's references (stopHedge only releases
+	// when it disarms the timer before it fires); drop them on every
+	// exit so the requests can return to the pool.
+	defer func() {
+		for i, r := range w.hedgeReqs {
+			if r != nil {
+				p.releaseReq(r)
+				w.hedgeReqs[i] = nil
+			}
+		}
+	}()
 	select {
 	case <-p.closing:
 		return // the drain path resolves everything; don't race shutdown
@@ -1061,21 +1497,26 @@ func (p *Pipeline) hedge(w *batchWork) {
 func (p *Pipeline) deliver(reqs []*pipeReq, size int, flushAt time.Duration, dec Decision, res *opencl.Result, hedged bool) int {
 	resolved := 0
 	off := 0
+	// One completion template per batch, patched per request — the
+	// Decision payload (strings, feature slice header) copies once here
+	// instead of once per request.
+	c := Completion{
+		Decision:  dec,
+		BatchSize: size,
+		Completed: res.Completed,
+		Hedged:    hedged,
+	}
+	energyPer := res.EnergyJ / float64(size)
 	for _, r := range reqs {
-		c := Completion{
-			Decision:  dec,
-			BatchSize: size,
-			Wait:      flushAt - r.at,
-			Latency:   res.Completed - r.at,
-			Completed: res.Completed,
-			EnergyJ:   res.EnergyJ * float64(r.size) / float64(size),
-			Hedged:    hedged,
-		}
+		c.Wait = flushAt - r.at
+		c.Latency = res.Completed - r.at
+		c.EnergyJ = energyPer * float64(r.size)
+		c.Classes = nil
 		if res.Classes != nil {
 			c.Classes = append([]int(nil), res.Classes[off:off+r.size]...)
 		}
 		off += r.size
-		if p.finish(r, c) {
+		if p.finish(r, &c) {
 			resolved++
 		}
 	}
@@ -1100,7 +1541,7 @@ func concatInputs(reqs []*pipeReq, size int) *tensor.Tensor {
 // outcome into the stats buckets (ok / Failed / Cancelled / Expired).
 // Reports whether this call won the resolution; a loser's completion is
 // discarded.
-func (p *Pipeline) finish(r *pipeReq, c Completion) bool {
+func (p *Pipeline) finish(r *pipeReq, c *Completion) bool {
 	if !r.done.CompareAndSwap(false, true) {
 		return false
 	}
@@ -1113,7 +1554,7 @@ func (p *Pipeline) finish(r *pipeReq, c Completion) bool {
 	default:
 		p.failed.Add(1)
 	}
-	r.fut.ch <- c // buffered(1); the CAS above makes delivery exactly-once
+	r.fut.ch <- *c // buffered(1); the CAS above makes delivery exactly-once
 	p.completed.Add(1)
 	return true
 }
@@ -1161,7 +1602,7 @@ func (p *Pipeline) Play(ctx context.Context, tr trace.Trace, pol Policy, speedup
 		batch := req.Batch
 		go func() {
 			defer wg.Done()
-			c, err := fut.Wait(ctx)
+			c, err := fut.waitRelease(ctx)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil || c.Err != nil {
@@ -1180,7 +1621,7 @@ func (p *Pipeline) Play(ctx context.Context, tr trace.Trace, pol Policy, speedup
 			res.Requests++
 			res.TotalSamples += int64(batch)
 			res.TotalEnergyJ += c.EnergyJ
-			res.record(c.Latency)
+			res.Record(c.Latency)
 			if c.Completed > res.Makespan {
 				res.Makespan = c.Completed
 			}

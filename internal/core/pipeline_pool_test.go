@@ -1,0 +1,138 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The pool-safety invariant under test: a resolved future must never be
+// reused while a waiter exists. Structurally, only waitRelease — the
+// sole consumer that actually received the completion — may return a
+// future to the pool; an abandoned wait (context cancelled while the
+// request is still in flight) pins the future out of the pool forever,
+// because a resolution may still be racing toward it.
+
+func TestAbandonedWaitPinsFutureOutOfPool(t *testing.T) {
+	s := testScheduler(t)
+	// HoldWindow + huge window: the request sits in an open aggregate,
+	// guaranteed unresolved while we abandon the wait.
+	p := NewPipeline(s, PipelineConfig{Window: time.Hour, MaxBatch: 1 << 20, HoldWindow: true})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	fut, err := p.Submit(ctx, PipelineRequest{Model: "simple", Policy: BestThroughput, Batch: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen0 := fut.gen.Load()
+	cancel()
+	if _, werr := fut.waitRelease(ctx); !errors.Is(werr, context.Canceled) {
+		t.Fatalf("abandoned waitRelease returned %v, want context.Canceled", werr)
+	}
+	if g := fut.gen.Load(); g != gen0 {
+		t.Fatalf("abandoned wait advanced the generation (%d → %d): future was pooled with a waiter outstanding", gen0, g)
+	}
+
+	// Close drains the pipeline: the cancelled request is culled and its
+	// future resolves. The abandoned future must still deliver that
+	// resolution to a later Wait — delivery is never lost to an
+	// abandoned wait, and public Wait never recycles.
+	p.Close()
+	c, werr := fut.Wait(context.Background())
+	if werr != nil {
+		t.Fatalf("post-close Wait: %v", werr)
+	}
+	if !errors.Is(c.Err, context.Canceled) {
+		t.Fatalf("culled request resolved with %v, want context.Canceled", c.Err)
+	}
+	if g := fut.gen.Load(); g != gen0 {
+		t.Fatalf("public Wait advanced the generation (%d → %d)", gen0, g)
+	}
+}
+
+func TestConsumedFutureRecycles(t *testing.T) {
+	s := testScheduler(t)
+	p := NewPipeline(s, PipelineConfig{})
+	defer p.Close()
+
+	fut, err := p.Submit(context.Background(), PipelineRequest{Model: "simple", Policy: BestThroughput, Batch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen0 := fut.gen.Load()
+	c, err := fut.waitRelease(context.Background())
+	if err != nil || c.Err != nil {
+		t.Fatalf("waitRelease: %v / %v", err, c.Err)
+	}
+	// The successful consumer bumped the generation exactly once — the
+	// release happened, and a (buggy) second release of the same handle
+	// would CAS-fail instead of double-issuing the future.
+	if g := fut.gen.Load(); g != gen0+1 {
+		t.Fatalf("consumed future generation %d, want %d", g, gen0+1)
+	}
+}
+
+// TestPooledFutureReuseRace hammers the pooled Submit/Do path with
+// concurrent completions and mid-flight cancellations. Run under -race
+// this is the regression test for the reuse invariant: a future (or
+// pipeReq) recycled while a stale waiter or stage still touches it shows
+// up as a data race, and a stale completion leaking into a recycled
+// future shows up as a BatchSize mismatch — each goroutine submits a
+// unique batch size with MaxBatch 1, so every request is its own batch
+// and must come back with exactly its own size.
+func TestPooledFutureReuseRace(t *testing.T) {
+	s := testScheduler(t)
+	p := NewPipeline(s, PipelineConfig{MaxBatch: 1, QueueDepth: 4096})
+	defer p.Close()
+
+	const goroutines = 8
+	const iters = 150
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		size := g + 1 // per-goroutine tag, echoed back as BatchSize
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				ctx := context.Background()
+				var cancel context.CancelFunc
+				if i%3 == 0 {
+					// A third of the waits race a cancellation against the
+					// completion — the abandoned-wait path under load.
+					ctx, cancel = context.WithTimeout(ctx, 50*time.Microsecond)
+				}
+				c, err := p.Do(ctx, PipelineRequest{Model: "mnist-small", Policy: BestThroughput, Batch: size})
+				if cancel != nil {
+					cancel()
+				}
+				if err != nil {
+					if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, ErrAdmissionFull) {
+						continue
+					}
+					errs <- err
+					return
+				}
+				if c.Err != nil {
+					if errors.Is(c.Err, context.DeadlineExceeded) || errors.Is(c.Err, context.Canceled) {
+						continue
+					}
+					errs <- c.Err
+					return
+				}
+				if c.BatchSize != size {
+					errs <- fmt.Errorf("stale completion: submitted batch %d, received BatchSize %d — a recycled future delivered another request's result", size, c.BatchSize)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -201,6 +201,62 @@ func TestPipelineShedsWhenAdmissionFull(t *testing.T) {
 	}
 }
 
+func TestQueueDelayGrowsWithBacklog(t *testing.T) {
+	// Spilling off: every batch targets the classifier's first pick, so
+	// all backlog lands on one device queue deterministically.
+	s := smallScheduler(t, Config{MaxQueueDelay: -1})
+	gate := make(chan struct{}, 1024)
+	p := NewPipeline(s, PipelineConfig{MaxBatch: 1, DeviceQueueDepth: 8})
+	p.testExecHook = func(string) { <-gate }
+	defer p.Close()
+
+	ctx := context.Background()
+	// Train the per-sample EWMA: completed batches teach the device
+	// queue what a sample costs, which is what backlog is priced in.
+	for i := 0; i < 5; i++ {
+		gate <- struct{}{}
+		if _, err := p.Do(ctx, PipelineRequest{Model: "mnist-small", Policy: BestThroughput, Batch: 64}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := p.QueueDelay(); d != 0 {
+		t.Fatalf("idle QueueDelay = %v, want 0", d)
+	}
+
+	// Hold the workers and pile on batches: each flush charges its
+	// device queue, so the backlog estimate — and with it the server's
+	// Retry-After hint — must grow with saturation.
+	var futs []*Future
+	var last time.Duration
+	for k := 0; k < 4; k++ {
+		fut, err := p.Submit(ctx, PipelineRequest{Model: "mnist-small", Policy: BestThroughput, Batch: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		futs = append(futs, fut)
+		grown := false
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if d := p.QueueDelay(); d > last {
+				last, grown = d, true
+				break
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+		if !grown {
+			t.Fatalf("QueueDelay never rose above %v after backlogging batch %d", last, k+1)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		gate <- struct{}{}
+	}
+	for i, fut := range futs {
+		if c, err := fut.Wait(ctx); err != nil || c.Err != nil {
+			t.Fatalf("backlogged request %d failed: %v / %v", i, err, c.Err)
+		}
+	}
+}
+
 func TestPipelineContextCancellation(t *testing.T) {
 	s := testScheduler(t)
 	p := NewPipeline(s, PipelineConfig{Window: time.Hour, MaxBatch: 1 << 20, HoldWindow: true})

@@ -59,7 +59,11 @@ func (r ReplayResult) Percentile(p float64) time.Duration {
 	return sorted[idx]
 }
 
-func (r *ReplayResult) record(lat time.Duration) {
+// Record folds one request latency into the aggregate (sum, max, and the
+// percentile population). Exported so external harnesses — the scenario
+// layer's percentile cross-check in particular — can build a
+// ReplayResult from their own latency samples.
+func (r *ReplayResult) Record(lat time.Duration) {
 	r.SumLatency += lat
 	if lat > r.MaxLatency {
 		r.MaxLatency = lat
@@ -85,6 +89,7 @@ func (s *Scheduler) ResetDevices() {
 	s.mu.Lock()
 	s.health = newHealthMonitor()
 	s.mu.Unlock()
+	s.invalidateDecisions()
 }
 
 // Replay feeds a request trace through the scheduler under one policy
@@ -105,7 +110,7 @@ func (s *Scheduler) Replay(tr trace.Trace, pol Policy) (ReplayResult, error) {
 		res.Requests++
 		res.TotalSamples += int64(req.Batch)
 		res.TotalEnergyJ += out.EnergyJ
-		res.record(out.Latency())
+		res.Record(out.Latency())
 		if out.Completed > res.Makespan {
 			res.Makespan = out.Completed
 		}
@@ -139,7 +144,7 @@ func (s *Scheduler) ReplayStatic(tr trace.Trace, devName string) (ReplayResult, 
 		res.Requests++
 		res.TotalSamples += int64(req.Batch)
 		res.TotalEnergyJ += out.EnergyJ
-		res.record(out.Latency())
+		res.Record(out.Latency())
 		if out.Completed > res.Makespan {
 			res.Makespan = out.Completed
 		}
@@ -178,7 +183,7 @@ func (s *Scheduler) OracleReplay(tr trace.Trace, pol Policy) (ReplayResult, erro
 		res.Requests++
 		res.TotalSamples += int64(req.Batch)
 		res.TotalEnergyJ += out.EnergyJ
-		res.record(out.Latency())
+		res.Record(out.Latency())
 		if out.Completed > res.Makespan {
 			res.Makespan = out.Completed
 		}

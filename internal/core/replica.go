@@ -56,6 +56,10 @@ func (s *Scheduler) Replica(seed int64) (*Scheduler, error) {
 		r.classifiers[pol] = c
 	}
 	s.mu.Unlock()
+	// The replica gets its own (empty) decision cache: cached rankings
+	// embed fencing context read live anyway, but cache epochs are
+	// per-scheduler and must not be shared.
+	r.buildPolicySet()
 	r.dataset = s.dataset
 	for _, name := range s.disp.Models() {
 		spec, err := s.disp.Spec(name)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bomw/internal/characterize"
@@ -104,6 +105,11 @@ type Decision struct {
 type Stats struct {
 	Decisions int
 	Spills    int
+	// DecisionCacheHits/Misses count SelectCached lookups served from /
+	// missing the memoised ranking table (the serving pipeline's fast
+	// path; Select and SelectExcluding never consult the cache).
+	DecisionCacheHits   int64
+	DecisionCacheMisses int64
 	// Quarantines counts lifetime quarantine transitions: devices fenced
 	// off after consecutive execution errors.
 	Quarantines int64
@@ -130,6 +136,21 @@ type Scheduler struct {
 	dataset     *characterize.LabeledSet
 	health      *healthMonitor
 	audit       *auditLog
+
+	// policyMask is the immutable set of trained policies as a bitmask,
+	// written once at construction and read lock-free on the admission
+	// hot path (Retrain refits the same policy keys, so the set never
+	// changes afterwards). A bit test beats a map probe per Submit.
+	policyMask uint64
+
+	// Decision memoisation (SelectCached): (model, policy, batch bucket,
+	// warm) → classifier ranking + feature vector, versioned by decEpoch.
+	// A bumped epoch lazily invalidates every entry; see
+	// invalidateDecisions for the events that bump it.
+	decCache  sync.Map // decisionKey → *decisionEntry
+	decEpoch  atomic.Uint64
+	decHits   atomic.Int64
+	decMisses atomic.Int64
 
 	mu         sync.Mutex
 	stats      Stats
@@ -197,6 +218,7 @@ func New(cfg Config) (*Scheduler, error) {
 			s.cvMetrics[pol] = m
 		}
 	}
+	s.buildPolicySet()
 	return s, nil
 }
 
@@ -283,6 +305,7 @@ func (s *Scheduler) Retrain(extra []*nn.Spec) error {
 		s.classifiers[pol] = c
 	}
 	s.mu.Unlock()
+	s.invalidateDecisions() // cached rankings came from the old forests
 	return nil
 }
 
@@ -294,8 +317,9 @@ func (s *Scheduler) Retrain(extra []*nn.Spec) error {
 // Pass nil to detach.
 func (s *Scheduler) SetQueueProbe(fn func(device string) time.Duration) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.queueProbe = fn
+	s.mu.Unlock()
+	s.invalidateDecisions()
 }
 
 // classifierFor returns the trained selector for a policy under the
@@ -308,9 +332,20 @@ func (s *Scheduler) classifierFor(p Policy) (mlsched.Classifier, bool) {
 }
 
 // hasPolicy reports whether a trained classifier exists for the policy.
+// It reads the immutable policy mask lock-free — this sits on the Submit
+// hot path, and Retrain never changes which policies are trained, only
+// the classifiers behind them.
 func (s *Scheduler) hasPolicy(p Policy) bool {
-	_, ok := s.classifierFor(p)
-	return ok
+	return uint64(p) < 64 && s.policyMask&(1<<uint64(p)) != 0
+}
+
+// buildPolicySet freezes the set of trained policies; called once at
+// construction, before the scheduler is shared.
+func (s *Scheduler) buildPolicySet() {
+	s.policyMask = 0
+	for pol := range s.classifiers {
+		s.policyMask |= 1 << uint64(pol)
+	}
 }
 
 // monitor returns the current health monitor (swapped by ResetDevices).
@@ -362,34 +397,137 @@ func (s *Scheduler) SelectExcluding(model string, batch int, pol Policy, now tim
 	if !ok {
 		return Decision{}, fmt.Errorf("core: unknown policy %v", pol)
 	}
+	warm := s.probeGPU(now)
+	feats := characterize.Features(spec.Descriptor(), batch, warm)
+	order := rankOf(clf, feats, len(s.devices))
+	return s.decideFrom(model, batch, pol, now, exclude, warm, feats, order, t0)
+}
+
+// decisionKey identifies one memoised scheduling context. Batch sizes
+// are bucketed (next power of two) so the cache stays a handful of
+// entries per model instead of one per distinct batch size.
+type decisionKey struct {
+	model  string
+	pol    Policy
+	bucket int
+	warm   bool
+}
+
+// decisionEntry is the cached expensive half of a decision: the §V-B
+// feature vector and the classifier's device ranking, stamped with the
+// epoch they were computed under. Both slices are shared across every
+// decision served from the entry and must be treated as read-only.
+type decisionEntry struct {
+	epoch uint64
+	feats []float64
+	order []int
+}
+
+// bucketBatch rounds a batch size up to its power-of-two bucket, the
+// granularity of the decision cache. The classifier's device rankings
+// are piecewise-constant in batch size at this resolution (§IV-C: the
+// CPU→iGPU→dGPU crossovers sit decades apart on the batch axis), so
+// bucketing keeps the cache tiny without visibly moving decisions.
+func bucketBatch(n int) int {
+	b := 1
+	for b < n {
+		b <<= 1
+	}
+	return b
+}
+
+// invalidateDecisions bumps the decision-cache epoch, lazily discarding
+// every memoised ranking. It runs on the events that can change what the
+// cached layer computed: Retrain (new classifiers), ResetDevices (fresh
+// health state), SetQueueProbe (new occupancy source) and quarantine or
+// readmission transitions. Queue occupancy itself never needs an epoch:
+// the spill adaptation reads it live on every decision.
+func (s *Scheduler) invalidateDecisions() { s.decEpoch.Add(1) }
+
+// SelectCached is Select through the decision memo: feature assembly and
+// classifier ranking — the expensive, state-independent half of a
+// decision — are computed once per (model, policy, batch bucket,
+// GPU-warm) and reused until invalidateDecisions bumps the epoch. The
+// live half (exclusion, quarantine fencing, queue-occupancy spill) still
+// runs per call in decideFrom, so cached decisions adapt to queue state
+// exactly like uncached ones. The serving pipeline's flush path uses
+// this; Select/SelectExcluding always compute fresh. Features of a
+// cached decision describe the bucket ceiling, not the exact batch.
+func (s *Scheduler) SelectCached(model string, batch int, pol Policy, now time.Duration) (Decision, error) {
+	if batch <= 0 {
+		return Decision{}, fmt.Errorf("core: batch size must be positive, got %d", batch)
+	}
+	warm := s.probeGPU(now)
+	key := decisionKey{model: model, pol: pol, bucket: bucketBatch(batch), warm: warm}
+	epoch := s.decEpoch.Load()
+	if v, ok := s.decCache.Load(key); ok {
+		if e := v.(*decisionEntry); e.epoch == epoch {
+			s.decHits.Add(1)
+			// Memo hits skip the wall-clock DecisionTime measurement
+			// (zero t0 → DecisionTime 0): the classification itself was
+			// amortised away, and on virtualised hardware the two clock
+			// reads would cost more than the remaining live half.
+			return s.decideFrom(model, batch, pol, now, nil, warm, e.feats, e.order, time.Time{})
+		}
+	}
+	s.decMisses.Add(1)
+	//bomw:wallclock DecisionTime measures the real classification cost (paper Table II), not simulated time
+	t0 := time.Now()
+	spec, err := s.disp.Spec(model)
+	if err != nil {
+		return Decision{}, err
+	}
+	clf, ok := s.classifierFor(pol)
+	if !ok {
+		return Decision{}, fmt.Errorf("core: unknown policy %v", pol)
+	}
+	feats := characterize.Features(spec.Descriptor(), key.bucket, warm)
+	order := rankOf(clf, feats, len(s.devices))
+	// An epoch bump between the Load above and this Store leaves a
+	// stale-stamped entry behind, which the next lookup simply recomputes
+	// — invalidation never loses, it only costs one extra miss.
+	s.decCache.Store(key, &decisionEntry{epoch: epoch, feats: feats, order: order})
+	return s.decideFrom(model, batch, pol, now, nil, warm, feats, order, t0)
+}
+
+// rankOf returns the classifier's device-preference order for a feature
+// vector: the full ranking when the classifier exposes one, otherwise
+// the argmax followed by the remaining classes in index order.
+func rankOf(clf mlsched.Classifier, feats []float64, nDevices int) []int {
+	if r, ok := clf.(mlsched.Ranker); ok {
+		return r.Rank(feats)
+	}
+	first := clf.Predict(feats)
+	order := make([]int, 0, nDevices)
+	order = append(order, first)
+	for c := 0; c < nDevices; c++ {
+		if c != first {
+			order = append(order, c)
+		}
+	}
+	return order
+}
+
+// decideFrom turns a classifier ranking into a committed decision: it
+// applies the exclusion set, fences quarantined devices, runs the
+// queue-occupancy spill adaptation, and records stats and the audit
+// entry. This is the live (never memoised) half of every Select* path —
+// it may read a cached order/feats pair, which it must not mutate.
+func (s *Scheduler) decideFrom(model string, batch int, pol Policy, now time.Duration, exclude map[string]bool, warm bool, feats []float64, order []int, t0 time.Time) (Decision, error) {
+	if len(order) == 0 || order[0] >= len(s.devices) {
+		return Decision{}, fmt.Errorf("core: classifier ranked invalid class for %s", model)
+	}
 	s.mu.Lock()
 	probe := s.queueProbe
 	health := s.health
 	s.mu.Unlock()
-	warm := s.probeGPU(now)
-	feats := characterize.Features(spec.Descriptor(), batch, warm)
-
-	// Preference order: the classifier's ranking when available,
-	// otherwise the argmax followed by the remaining classes.
-	var order []int
-	if r, ok := clf.(mlsched.Ranker); ok {
-		order = r.Rank(feats)
-	} else {
-		first := clf.Predict(feats)
-		order = append(order, first)
-		for c := range s.devices {
-			if c != first {
-				order = append(order, c)
-			}
-		}
-	}
-	if len(order) == 0 || order[0] >= len(s.devices) {
-		return Decision{}, fmt.Errorf("core: classifier ranked invalid class for %s", model)
-	}
 
 	// Failure domain: drop excluded devices outright, and fence off
-	// quarantined ones unless nothing else remains.
-	candidates := order[:0:0]
+	// quarantined ones unless nothing else remains. The candidate list
+	// builds in a stack buffer: this runs once per dispatched batch and
+	// must not allocate on the happy path.
+	var candBuf [8]int
+	candidates := candBuf[:0]
 	var quarantinedOnly []int
 	for _, c := range order {
 		if c >= len(s.devices) {
@@ -453,8 +591,10 @@ func (s *Scheduler) SelectExcluding(model string, batch int, pol Policy, now tim
 		GPUWarm:  warm,
 		Spilled:  spilled,
 		Features: feats,
-		//bomw:wallclock real elapsed classification time, paired with the t0 above
-		DecisionTime: time.Since(t0),
+	}
+	if !t0.IsZero() {
+		//bomw:wallclock real elapsed classification time, paired with the caller's t0
+		d.DecisionTime = time.Since(t0)
 	}
 	s.mu.Lock()
 	s.stats.Decisions++
@@ -463,8 +603,23 @@ func (s *Scheduler) SelectExcluding(model string, batch int, pol Policy, now tim
 	}
 	s.stats.PerDevice[d.Device]++
 	s.stats.PerPolicy[pol]++
+	audit := s.audit
 	s.mu.Unlock()
-	s.recordAudit(d, now)
+	if audit != nil {
+		// Inlined recordAudit: the audit pointer was fetched under the
+		// stats lock above, sparing a third mutex round-trip per decision
+		// when auditing is (as almost always) disabled.
+		audit.record(AuditEntry{
+			At:       now,
+			Model:    d.Model,
+			Batch:    d.Batch,
+			Policy:   d.Policy.String(),
+			Device:   d.Device,
+			GPUWarm:  d.GPUWarm,
+			Spilled:  d.Spilled,
+			Decision: d.DecisionTime,
+		})
+	}
 	return d, nil
 }
 
@@ -513,6 +668,8 @@ func (s *Scheduler) Stats() Stats {
 		out.PerPolicy[k] = v
 	}
 	s.mu.Unlock()
+	out.DecisionCacheHits = s.decHits.Load()
+	out.DecisionCacheMisses = s.decMisses.Load()
 	out.Quarantines, out.Readmissions = h.counters()
 	out.Quarantined = h.quarantinedList()
 	sort.Strings(out.Quarantined)

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestBucketBatch(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 8: 8, 9: 16, 100: 128, 256: 256, 1000: 1024}
+	for in, want := range cases {
+		if got := bucketBatch(in); got != want {
+			t.Errorf("bucketBatch(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestSelectCachedMatchesSelect(t *testing.T) {
+	// On an idle system the memoised path must pick the same device as
+	// the full decision for every (model, batch, policy) — bucketing may
+	// change the feature vector, but never across a ranking crossover at
+	// these granularities... except when it legitimately does; then the
+	// cached choice must at least equal the fresh decision at the bucket
+	// ceiling (the cache's contract: decisions are per-bucket).
+	s := testScheduler(t)
+	for _, model := range []string{"mnist-small", "cifar-10"} {
+		for _, pol := range []Policy{BestThroughput, LowestLatency, EnergyEfficiency} {
+			for _, batch := range []int{1, 2, 8, 32, 256} { // powers of two: bucket == batch
+				fresh, err := s.Select(model, batch, pol, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cached, err := s.SelectCached(model, batch, pol, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if cached.Device != fresh.Device {
+					t.Fatalf("%s/%v batch %d: cached chose %s, fresh chose %s",
+						model, pol, batch, cached.Device, fresh.Device)
+				}
+				if cached.Batch != batch {
+					t.Fatalf("cached decision reports batch %d, want %d", cached.Batch, batch)
+				}
+			}
+		}
+	}
+}
+
+func TestSelectCachedHitAccounting(t *testing.T) {
+	s := testScheduler(t)
+	base := s.Stats()
+	// Same key three times: one miss (first call populates), two hits.
+	for i := 0; i < 3; i++ {
+		if _, err := s.SelectCached("mnist-small", 8, BestThroughput, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if hits := st.DecisionCacheHits - base.DecisionCacheHits; hits != 2 {
+		t.Fatalf("cache hits = %d, want 2", hits)
+	}
+	if misses := st.DecisionCacheMisses - base.DecisionCacheMisses; misses != 1 {
+		t.Fatalf("cache misses = %d, want 1", misses)
+	}
+	// Batches 5..8 share the bucket-8 entry: all hits.
+	preHits := s.Stats().DecisionCacheHits
+	for batch := 5; batch <= 8; batch++ {
+		if _, err := s.SelectCached("mnist-small", batch, BestThroughput, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hits := s.Stats().DecisionCacheHits - preHits; hits != 4 {
+		t.Fatalf("bucket-sharing hits = %d, want 4", hits)
+	}
+}
+
+func TestDecisionCacheInvalidation(t *testing.T) {
+	s := testScheduler(t)
+	if _, err := s.SelectCached("mnist-small", 8, BestThroughput, 0); err != nil {
+		t.Fatal(err)
+	}
+	probe := func(string) time.Duration { return 0 }
+
+	invalidators := []struct {
+		name string
+		do   func()
+	}{
+		{"SetQueueProbe", func() { s.SetQueueProbe(probe); s.SetQueueProbe(nil) }},
+		{"ResetDevices", func() { s.ResetDevices() }},
+		{"quarantine transition", func() {
+			for i := 0; i < 3; i++ {
+				s.ReportExecution("cpu", fmt.Errorf("boom"))
+			}
+			s.ReportExecution("cpu", nil) // readmit (bumps again)
+		}},
+	}
+	for _, iv := range invalidators {
+		before := s.decEpoch.Load()
+		iv.do()
+		if after := s.decEpoch.Load(); after <= before {
+			t.Fatalf("%s did not bump the decision epoch (%d → %d)", iv.name, before, after)
+		}
+		// A bumped epoch turns the next lookup into a miss that repopulates.
+		preMiss := s.Stats().DecisionCacheMisses
+		if _, err := s.SelectCached("mnist-small", 8, BestThroughput, 0); err != nil {
+			t.Fatal(err)
+		}
+		if s.Stats().DecisionCacheMisses != preMiss+1 {
+			t.Fatalf("%s: stale entry served as a hit", iv.name)
+		}
+	}
+}
+
+func TestSelectCachedRespectsQuarantineFencing(t *testing.T) {
+	// Fencing is live (decideFrom), not cached: quarantining the device a
+	// cached entry ranks first must immediately steer cached decisions
+	// away, without waiting for any cache refresh.
+	s := testScheduler(t)
+	s.ResetDevices()
+	first, err := s.SelectCached("mnist-small", 2, LowestLatency, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		s.ReportExecution(first.Device, fmt.Errorf("injected"))
+	}
+	after, err := s.SelectCached("mnist-small", 2, LowestLatency, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Device == first.Device {
+		t.Fatalf("cached decision still routes to quarantined %s", first.Device)
+	}
+	s.ResetDevices()
+}

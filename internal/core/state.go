@@ -140,5 +140,6 @@ func LoadState(cfg Config, r io.Reader) (*Scheduler, error) {
 			return nil, fmt.Errorf("core: saved state missing %v classifier", pol)
 		}
 	}
+	s.buildPolicySet()
 	return s, nil
 }

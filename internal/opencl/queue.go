@@ -63,11 +63,26 @@ func (e *Event) Duration() time.Duration { return e.End - e.Start }
 type Queue struct {
 	Dev    *ClDevice
 	events []*Event
+	buf    []Event // reserved backing for events; see Reserve
 	last   time.Duration
 }
 
 // NewQueue creates an empty command queue for a device.
 func NewQueue(d *ClDevice) *Queue { return &Queue{Dev: d} }
+
+// Reserve pre-allocates backing storage for n events in one block. A
+// caller that knows its command count up front (the runtime enqueues
+// write + kernels + read per batch) trades one allocation for n — on the
+// serving hot path the profiling log is most of the per-batch garbage.
+// Events beyond the reservation fall back to individual allocations.
+func (q *Queue) Reserve(n int) {
+	if cap(q.buf)-len(q.buf) < n {
+		q.buf = make([]Event, 0, n)
+	}
+	if q.events == nil && cap(q.events) < n {
+		q.events = make([]*Event, 0, n)
+	}
+}
 
 // Events returns the profiling log of all commands in enqueue order.
 func (q *Queue) Events() []*Event { return q.events }
@@ -76,7 +91,14 @@ func (q *Queue) Events() []*Event { return q.events }
 func (q *Queue) Last() time.Duration { return q.last }
 
 func (q *Queue) push(name string, queued time.Duration, rep device.Report) *Event {
-	ev := &Event{
+	var ev *Event
+	if len(q.buf) < cap(q.buf) {
+		q.buf = q.buf[:len(q.buf)+1]
+		ev = &q.buf[len(q.buf)-1]
+	} else {
+		ev = new(Event)
+	}
+	*ev = Event{
 		Name:   name,
 		Queued: queued,
 		Start:  rep.Start,

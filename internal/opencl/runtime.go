@@ -209,6 +209,7 @@ func (r *Runtime) run(devName, model string, in *tensor.Tensor, n int, at time.D
 	}
 
 	q := NewQueue(dev)
+	q.Reserve(len(prog.Kernels) + 2) // write/map + kernels + read-back
 	res := &Result{Device: devName, Model: model, Batch: n, Submitted: at}
 
 	// Stage the input: page-locked write over PCIe for discrete devices,

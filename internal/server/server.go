@@ -163,6 +163,21 @@ func writeJSON(w http.ResponseWriter, v interface{}) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// retryAfter converts a backlog estimate into a Retry-After hint:
+// ceiling seconds clamped to [1, 30] — at least one second so shed
+// clients always back off, at most thirty so a transient spike cannot
+// park them for minutes.
+func retryAfter(backlog time.Duration) string {
+	secs := int64((backlog + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
 // ---- /v1/classify ------------------------------------------------------
 
 // ClassifyRequest is the POST /v1/classify payload.
@@ -274,8 +289,10 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		errors.Is(err, core.ErrNodeDraining), errors.Is(err, core.ErrNodeDown),
 		errors.Is(err, cluster.ErrNoReadyNodes):
 		// Load shedding / no capacity: every node the policy offered shed
-		// or is down. Tell the client to back off and retry.
-		w.Header().Set("Retry-After", "1")
+		// or is down. The back-off hint scales with the fleet's actual
+		// backlog instead of a fixed guess, so clients retry sooner on a
+		// momentary spike and later under sustained saturation.
+		w.Header().Set("Retry-After", retryAfter(s.fleet.QueueDelay()))
 		httpError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	case errors.Is(err, core.ErrDeadlineInfeasible):

@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"sync"
 	"testing"
+	"time"
 
 	"bomw/internal/core"
 	"bomw/internal/models"
@@ -374,8 +376,10 @@ func TestShedReturns503(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("status after drain = %d, want 503", resp.StatusCode)
 	}
-	if resp.Header.Get("Retry-After") == "" {
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
 		t.Fatal("503 missing Retry-After header")
+	} else if secs, err := strconv.Atoi(ra); err != nil || secs < 1 || secs > 30 {
+		t.Fatalf("Retry-After = %q, want integer seconds in [1,30]", ra)
 	}
 	var body map[string]string
 	decode(t, resp, &body)
@@ -385,5 +389,38 @@ func TestShedReturns503(t *testing.T) {
 	st := api.Pipeline().Stats()
 	if st.Submitted != st.Completed || st.InFlight != 0 {
 		t.Fatalf("drain left work behind: %+v", st)
+	}
+}
+
+// TestRetryAfterScalesWithBacklog pins the Retry-After derivation: the
+// hint is the fleet backlog in ceiling seconds, clamped to [1, 30], so
+// a saturated system tells clients to stay away longer than an idle one.
+func TestRetryAfterScalesWithBacklog(t *testing.T) {
+	cases := []struct {
+		backlog time.Duration
+		want    string
+	}{
+		{0, "1"},                      // idle: floor keeps clients backing off at all
+		{300 * time.Millisecond, "1"}, // sub-second rounds up to the floor
+		{time.Second, "1"},
+		{1500 * time.Millisecond, "2"}, // ceiling, not truncation
+		{5 * time.Second, "5"},
+		{29*time.Second + time.Millisecond, "30"},
+		{2 * time.Minute, "30"}, // cap: a spike cannot park clients for minutes
+	}
+	var prev int
+	for _, c := range cases {
+		got := retryAfter(c.backlog)
+		if got != c.want {
+			t.Errorf("retryAfter(%v) = %q, want %q", c.backlog, got, c.want)
+		}
+		secs, err := strconv.Atoi(got)
+		if err != nil {
+			t.Fatalf("retryAfter(%v) = %q, not an integer", c.backlog, got)
+		}
+		if secs < prev {
+			t.Fatalf("retryAfter not monotone: %v yields %d after %d", c.backlog, secs, prev)
+		}
+		prev = secs
 	}
 }
