@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: verify build test vet lint lint-json race bench bench-json bench-guard smoke-cluster smoke-scenario soak soak-deadline soak-cluster fuzz
+.PHONY: verify build test vet lint lint-json race bench bench-json bench-guard smoke-cluster smoke-scenario smoke-chaos soak soak-deadline soak-cluster soak-chaos fuzz
 
 verify: vet lint build test race
 
@@ -62,6 +62,13 @@ smoke-cluster:
 smoke-scenario:
 	$(GO) test -race -count=1 -run 'TestScenarioSmoke' -v ./internal/workload/scenario/
 
+# Chaos smoke drill (CI): a 16-node fleet rides a seeded incident — 2
+# flapping crash-window nodes + 2 scripted stragglers — under the race
+# detector with hedging and straggler probation armed; every admitted
+# future must resolve and the crash windows must be observed.
+smoke-chaos:
+	$(GO) test -race -count=1 -run 'TestChaosSmoke' -v ./internal/cluster/
+
 # Failure-domain soak: overload + persistent device faults + mid-run
 # recovery under the race detector (skipped by -short elsewhere).
 soak:
@@ -77,6 +84,13 @@ soak-deadline:
 # within 5 points of the no-fault baseline.
 soak-cluster:
 	$(GO) test -count=1 -run 'TestSoakClusterTwoKills' -v ./internal/cluster/
+
+# Chaos acceptance soak: the same 16-node seeded incident at full
+# horizon, no race detector — feasible-SLO attainment must stay within
+# 5 points of the no-fault baseline with nonzero hedge wins and
+# straggler migrations, and zero lost futures.
+soak-chaos:
+	$(GO) test -count=1 -run 'TestSoakChaos' -v ./internal/cluster/
 
 # Short-budget fuzzing of the binary decoders (state files, traces).
 # Seeds always run in plain `make test`; this target mutates beyond them.

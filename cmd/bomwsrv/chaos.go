@@ -1,0 +1,121 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"bomw/internal/cluster"
+	"bomw/internal/core"
+	"bomw/internal/opencl"
+)
+
+// parseChaosSpec parses the -chaos flag grammar into a seeded plan
+// config (the node-level sibling of the -fault device grammar):
+//
+//	spec     = item *("," item)
+//	item     = "crash:" count [":" flaps]
+//	         | "slow:" count [":" factor]
+//	         | "horizon:" duration
+//	         | "crashlen:" duration
+//
+// crash picks count nodes to fail-stop for flaps windows each (default
+// 2 — the flapping-restart drill); slow picks count distinct nodes to
+// run factor× slower (default 4×) for the whole run. horizon bounds
+// where crash windows land on the virtual clock (default 10s) and
+// crashlen sets each window's length (default horizon/8). Which nodes
+// and when is drawn from -chaos-seed: the same seed replays the same
+// incident.
+func parseChaosSpec(spec string, seed int64) (cluster.ChaosConfig, error) {
+	cfg := cluster.ChaosConfig{Seed: seed}
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		kind, rest, _ := strings.Cut(item, ":")
+		switch kind {
+		case "crash":
+			countStr, flapsStr, hasFlaps := strings.Cut(rest, ":")
+			count, err := strconv.Atoi(countStr)
+			if err != nil || count < 0 {
+				return cfg, fmt.Errorf("bomwsrv: -chaos %q: crash count must be a non-negative integer", item)
+			}
+			cfg.Crash = count
+			if hasFlaps {
+				flaps, err := strconv.Atoi(flapsStr)
+				if err != nil || flaps <= 0 {
+					return cfg, fmt.Errorf("bomwsrv: -chaos %q: flap count must be a positive integer", item)
+				}
+				cfg.Flaps = flaps
+			}
+		case "slow":
+			countStr, factorStr, hasFactor := strings.Cut(rest, ":")
+			count, err := strconv.Atoi(countStr)
+			if err != nil || count < 0 {
+				return cfg, fmt.Errorf("bomwsrv: -chaos %q: slow count must be a non-negative integer", item)
+			}
+			cfg.Slow = count
+			if hasFactor {
+				factor, err := strconv.ParseFloat(factorStr, 64)
+				if err != nil || factor <= 1 {
+					return cfg, fmt.Errorf("bomwsrv: -chaos %q: slow factor must be > 1", item)
+				}
+				cfg.SlowFactor = factor
+			}
+		case "horizon":
+			d, err := time.ParseDuration(rest)
+			if err != nil || d <= 0 {
+				return cfg, fmt.Errorf("bomwsrv: -chaos %q: horizon must be a positive duration", item)
+			}
+			cfg.Horizon = d
+		case "crashlen":
+			d, err := time.ParseDuration(rest)
+			if err != nil || d <= 0 {
+				return cfg, fmt.Errorf("bomwsrv: -chaos %q: crashlen must be a positive duration", item)
+			}
+			cfg.CrashLen = d
+		default:
+			return cfg, fmt.Errorf("bomwsrv: -chaos %q: unknown item kind %q (want crash, slow, horizon or crashlen)", item, kind)
+		}
+	}
+	if cfg.Crash == 0 && cfg.Slow == 0 {
+		return cfg, fmt.Errorf("bomwsrv: -chaos spec %q scripts no faults (want crash:N and/or slow:N)", spec)
+	}
+	return cfg, nil
+}
+
+// fleetNames predicts the node names an n-node fleet will carry —
+// cluster.Build names them node0..node{n-1} — so chaos plans can be
+// generated before the fleet exists and handed to it at construction.
+func fleetNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("node%d", i)
+	}
+	return names
+}
+
+// applySlowPlans arms the chaos plans' slow-node factors: every device
+// of a slowed node gets a deterministic always-on latency spike
+// (SpikeRate 1, SpikeFactor = the plan's factor) through the node's
+// device fault injector, so the node is genuinely slower end to end and
+// the straggler detector has something real to find. Replaces any
+// injector -fault armed on those nodes. Returns the slowed node names.
+func applySlowPlans(nodes []*core.Node, ci *cluster.ChaosInjector, seed int64) []string {
+	var slowed []string
+	for i, nd := range nodes {
+		plan, ok := ci.Plan(nd.Name())
+		if !ok || plan.SlowFactor <= 1 {
+			continue
+		}
+		fi := opencl.NewFaultInjector(seed + int64(i))
+		for _, dev := range nd.Scheduler().Devices() {
+			fi.SetPlan(dev, opencl.FaultPlan{SpikeRate: 1, SpikeFactor: plan.SlowFactor})
+		}
+		nd.Scheduler().Runtime().SetFaultInjector(fi)
+		slowed = append(slowed, nd.Name())
+	}
+	return slowed
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"bomw/internal/cluster"
+)
+
+func TestParseChaosSpec(t *testing.T) {
+	cfg, err := parseChaosSpec("crash:2:3, slow:2:4, horizon:2m, crashlen:5s", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cluster.ChaosConfig{
+		Seed: 7, Crash: 2, Flaps: 3, Slow: 2, SlowFactor: 4,
+		Horizon: 2 * time.Minute, CrashLen: 5 * time.Second,
+	}
+	if cfg != want {
+		t.Fatalf("parsed %+v, want %+v", cfg, want)
+	}
+
+	// Counts alone are enough; flaps/factor fall back to defaults.
+	cfg, err = parseChaosSpec("crash:1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Crash != 1 || cfg.Flaps != 0 || cfg.Slow != 0 {
+		t.Fatalf("minimal spec parsed %+v", cfg)
+	}
+
+	for _, bad := range []string{
+		"",           // scripts nothing
+		"horizon:2m", // no faults either
+		"crash:-1",   // negative count
+		"crash:abc",  // non-numeric
+		"crash:2:0",  // flaps must be positive
+		"slow:2:1",   // factor must exceed 1
+		"slow:2:abc", // non-numeric factor
+		"horizon:0s,slow:1",
+		"crashlen:xyz,slow:1",
+		"melt:3", // unknown kind
+	} {
+		if _, err := parseChaosSpec(bad, 1); err == nil {
+			t.Errorf("spec %q accepted, want error", bad)
+		}
+	}
+}
+
+// TestParseChaosSpecDeterministicPlans closes the loop with the plan
+// generator: the parsed config yields identical plans on replay, over
+// the node names the fleet will actually carry.
+func TestParseChaosSpecDeterministicPlans(t *testing.T) {
+	cfg, err := parseChaosSpec("crash:2,slow:2", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := fleetNames(16)
+	if names[0] != "node0" || names[15] != "node15" {
+		t.Fatalf("fleetNames = %v", names[:2])
+	}
+	a, err := cluster.GenerateChaosPlans(names, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cluster.GenerateChaosPlans(names, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same parsed config generated different plans")
+	}
+	if _, err := cluster.GenerateChaosPlans(fleetNames(3), cfg); err == nil {
+		t.Fatal("4 faulty nodes on a 3-node fleet accepted")
+	}
+}

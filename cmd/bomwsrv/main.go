@@ -52,6 +52,24 @@
 //
 //	bomwsrv -nodes 8 -route least-loaded \
 //	  -fault 'GTX 1080 Ti=outage:30s-5m' -fault-nodes 0,3
+//
+// Fleet resilience: -chaos scripts deterministic *node-level* faults on
+// the virtual clock — seeded crash windows (flapping restarts) and
+// always-slow nodes — and the resilience flags turn on the counters
+// that absorb them:
+//
+//	bomwsrv -nodes 16 -route least-loaded \
+//	  -chaos 'crash:2:3,slow:2:4' -chaos-seed 7 \
+//	  -node-hedge -straggler -brownout -default-slo 50ms
+//
+// -node-hedge launches a backup submission on the next-best node when a
+// deadline request's slack half-expires; -straggler puts latency-outlier
+// nodes on probation (probe traffic only) and migrates their queued
+// work; -brownout sheds optional work progressively as fleet occupancy
+// climbs instead of 503-ing at the knee. The same -chaos-seed replays
+// the same incident. Watch the "resilience", "chaos" and "brownout"
+// blocks of /v1/cluster; POST {"action":"sweep"} there to force a
+// health sweep.
 package main
 
 import (
@@ -88,6 +106,11 @@ func main() {
 	nodes := flag.Int("nodes", 1, "fleet size: serving-node replicas behind the router")
 	route := flag.String("route", "round-robin", "routing policy: round-robin, least-loaded, model-affinity or weighted-scoring")
 	faultNodes := flag.String("fault-nodes", "0", "comma-separated node indices the -fault spec arms, or 'all' (per-node seeds)")
+	chaosSpec := flag.String("chaos", "", "node-level chaos spec, e.g. 'crash:2:3,slow:2:4,horizon:2m' (see doc comment)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "seed for chaos plan generation (same seed replays the same incident)")
+	nodeHedge := flag.Bool("node-hedge", false, "hedge deadline requests onto the next-best node when half their slack is spent")
+	straggler := flag.Bool("straggler", false, "detect straggling nodes (latency-EWMA outliers), probation them and migrate their queued work")
+	brownout := flag.Bool("brownout", false, "shed optional work progressively as fleet occupancy climbs (hedges, then SLO-less requests, then batch windows)")
 	flag.Parse()
 
 	// Parse the fault spec, routing policy and fault-node set before the
@@ -110,6 +133,23 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	// Chaos plans are a pure function of (seed, fleet size, spec), and
+	// node names are deterministic — generate before the fleet exists so
+	// a bad spec fails before the characterisation run.
+	var chaos *cluster.ChaosInjector
+	if *chaosSpec != "" {
+		ccfg, err := parseChaosSpec(*chaosSpec, *chaosSeed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		plans, err := cluster.GenerateChaosPlans(fleetNames(*nodes), ccfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		chaos = cluster.NewChaosInjector(plans)
 	}
 
 	var sched *core.Scheduler
@@ -146,10 +186,28 @@ func main() {
 		DeviceQueueDepth: *deviceDepth,
 		DefaultSLO:       *defaultSLO,
 		Hedge:            *hedge,
-	}, *nodes, cluster.Config{Policy: policy, Seed: *seed})
+	}, *nodes, cluster.Config{
+		Policy:    policy,
+		Seed:      *seed,
+		Chaos:     chaos,
+		NodeHedge: *nodeHedge,
+		Straggler: cluster.StragglerConfig{Enabled: *straggler},
+		Brownout:  cluster.BrownoutConfig{Enabled: *brownout},
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if chaos != nil {
+		slowed := applySlowPlans(api.Nodes(), chaos, *chaosSeed)
+		crashed := 0
+		for _, p := range chaos.Plans() {
+			if len(p.Crashes) > 0 {
+				crashed++
+			}
+		}
+		fmt.Printf("bomwsrv: chaos armed (seed %d): %d node(s) with crash windows, slow nodes %v\n",
+			*chaosSeed, crashed, slowed)
 	}
 
 	if len(faultPlans) > 0 {

@@ -1,0 +1,200 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Node-level chaos: deterministic, seeded fault plans on the fleet's
+// shared virtual clock — internal/opencl.FaultInjector lifted one level
+// up. A plan scripts two node-scale failure modes:
+//
+//   - Crash windows: intervals during which the node is treated as
+//     fail-stopped at the routing tier — eligible() skips it, the sweep
+//     migrates its pending deadline work, and when the window closes the
+//     node is routable again without operator action. Repeated short
+//     windows are exactly the "flapping restart" pattern.
+//   - Slow-node factor: a latency multiplier the chaos *applier* (cmd/
+//     bomwsrv, the chaos soak) arms on the node's devices via
+//     opencl.FaultInjector (SpikeRate 1, SpikeFactor = the factor), so a
+//     "slow node" is genuinely slow end to end and the straggler
+//     detector has something real to find.
+//
+// Plans are a pure function of (seed, node names, config): the same
+// seed replays the same incident, the property every soak and every
+// postmortem drill in this repo rests on.
+
+// ChaosWindow is one [Start, End) fault interval on the virtual clock.
+type ChaosWindow struct {
+	Start time.Duration `json:"start"`
+	End   time.Duration `json:"end"`
+}
+
+// ChaosPlan scripts one node's faults for a run.
+type ChaosPlan struct {
+	// Node is the fleet-unique node name the plan applies to.
+	Node string `json:"node"`
+	// Crashes are the node's routing-level fail-stop windows, sorted and
+	// non-overlapping. Empty for slow-only plans.
+	Crashes []ChaosWindow `json:"crashes,omitempty"`
+	// SlowFactor > 1 marks the node as a scripted straggler: the applier
+	// multiplies its device latencies by this factor for the whole run.
+	SlowFactor float64 `json:"slow_factor,omitempty"`
+}
+
+// ChaosConfig parameterises seeded plan generation.
+type ChaosConfig struct {
+	// Seed drives node selection and window placement. Same seed, same
+	// node list, same config → identical plans.
+	Seed int64
+	// Crash is how many nodes receive crash windows. Defaults to 0.
+	Crash int
+	// Slow is how many (distinct) nodes become scripted stragglers.
+	// Defaults to 0.
+	Slow int
+	// Horizon is the virtual-time span windows are placed in. Defaults
+	// to 10s.
+	Horizon time.Duration
+	// CrashLen is each crash window's length. Defaults to Horizon/8.
+	CrashLen time.Duration
+	// Flaps is how many crash windows each crashed node gets (the
+	// flapping-restart count). Defaults to 2.
+	Flaps int
+	// SlowFactor is the straggler latency multiplier. Defaults to 4.
+	SlowFactor float64
+}
+
+func (c *ChaosConfig) fillDefaults() {
+	if c.Horizon <= 0 {
+		c.Horizon = 10 * time.Second
+	}
+	if c.CrashLen <= 0 {
+		c.CrashLen = c.Horizon / 8
+	}
+	if c.Flaps <= 0 {
+		c.Flaps = 2
+	}
+	if c.SlowFactor <= 1 {
+		c.SlowFactor = 4
+	}
+}
+
+// splitmix64 is the plan generator's deterministic mixing function —
+// the same stateless PRNG idiom the routing policies hash with, so plan
+// generation needs no rand.Source state to replay.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e9b5
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// GenerateChaosPlans builds the seeded fleet plan: Crash nodes with
+// Flaps crash windows each, then Slow distinct nodes with the slow
+// factor. Node selection is a seeded shuffle, window placement divides
+// the horizon into per-flap slots with seeded jitter — every choice
+// derives from cfg.Seed alone. Returns an error when the fleet is too
+// small for the requested fault count.
+func GenerateChaosPlans(names []string, cfg ChaosConfig) ([]ChaosPlan, error) {
+	cfg.fillDefaults()
+	if cfg.Crash < 0 || cfg.Slow < 0 {
+		return nil, fmt.Errorf("cluster: negative chaos node counts (%d crash, %d slow)", cfg.Crash, cfg.Slow)
+	}
+	if cfg.Crash+cfg.Slow > len(names) {
+		return nil, fmt.Errorf("cluster: chaos plan wants %d faulty nodes but the fleet has %d",
+			cfg.Crash+cfg.Slow, len(names))
+	}
+	// Seeded Fisher–Yates over a copy of the name list: the first Crash
+	// entries crash, the next Slow entries slow down.
+	picked := append([]string(nil), names...)
+	state := uint64(cfg.Seed) ^ 0xc8a5c5d9ef2bb14d
+	for i := len(picked) - 1; i > 0; i-- {
+		state = splitmix64(state)
+		j := int(state % uint64(i+1))
+		picked[i], picked[j] = picked[j], picked[i]
+	}
+	var plans []ChaosPlan
+	for i := 0; i < cfg.Crash; i++ {
+		plan := ChaosPlan{Node: picked[i]}
+		slot := cfg.Horizon / time.Duration(cfg.Flaps)
+		length := cfg.CrashLen
+		if length > slot/2 {
+			length = slot / 2 // a flap must also recover within its slot
+		}
+		for f := 0; f < cfg.Flaps; f++ {
+			state = splitmix64(state)
+			jitter := time.Duration(state % uint64(slot-length))
+			start := time.Duration(f)*slot + jitter
+			plan.Crashes = append(plan.Crashes, ChaosWindow{Start: start, End: start + length})
+		}
+		sort.Slice(plan.Crashes, func(a, b int) bool { return plan.Crashes[a].Start < plan.Crashes[b].Start })
+		plans = append(plans, plan)
+	}
+	for i := cfg.Crash; i < cfg.Crash+cfg.Slow; i++ {
+		plans = append(plans, ChaosPlan{Node: picked[i], SlowFactor: cfg.SlowFactor})
+	}
+	return plans, nil
+}
+
+// ChaosInjector evaluates a fleet chaos plan against the shared virtual
+// clock. It is pure state — plans are immutable after construction —
+// so concurrent readers (eligible, sweep, stats) need no locking.
+type ChaosInjector struct {
+	plans map[string]ChaosPlan
+}
+
+// NewChaosInjector indexes the plans by node name.
+func NewChaosInjector(plans []ChaosPlan) *ChaosInjector {
+	ci := &ChaosInjector{plans: make(map[string]ChaosPlan, len(plans))}
+	for _, p := range plans {
+		ci.plans[p.Node] = p
+	}
+	return ci
+}
+
+// Plans returns the scripted plans, sorted by node name.
+func (ci *ChaosInjector) Plans() []ChaosPlan {
+	out := make([]ChaosPlan, 0, len(ci.plans))
+	for _, p := range ci.plans {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Node < out[b].Node })
+	return out
+}
+
+// Plan returns the named node's plan, if it has one.
+func (ci *ChaosInjector) Plan(name string) (ChaosPlan, bool) {
+	p, ok := ci.plans[name]
+	return p, ok
+}
+
+// DownAt reports whether the named node is inside a crash window at
+// virtual time now, and — when it is — the remaining time until the
+// window closes (the readmission hint).
+func (ci *ChaosInjector) DownAt(name string, now time.Duration) (bool, time.Duration) {
+	p, ok := ci.plans[name]
+	if !ok {
+		return false, 0
+	}
+	for _, w := range p.Crashes {
+		if now >= w.Start && now < w.End {
+			return true, w.End - now
+		}
+	}
+	return false, 0
+}
+
+// NextRecovery is the soonest crash-window end among nodes down at now;
+// zero when nothing is down. Servers derive the Retry-After of
+// fleet-wide 503s from it.
+func (ci *ChaosInjector) NextRecovery(now time.Duration) time.Duration {
+	var soonest time.Duration
+	for name := range ci.plans {
+		if down, left := ci.DownAt(name, now); down && (soonest == 0 || left < soonest) {
+			soonest = left
+		}
+	}
+	return soonest
+}

@@ -1,0 +1,250 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bomw/internal/core"
+	"bomw/internal/models"
+	"bomw/internal/opencl"
+)
+
+// armSlowPlans mirrors bomwsrv's chaos applier: every device of a
+// slow-plan node gets an always-on latency spike so the node is
+// genuinely slower end to end on the virtual clock.
+func armSlowPlans(nodes []*core.Node, ci *ChaosInjector, seed int64) {
+	for i, nd := range nodes {
+		p, ok := ci.Plan(nd.Name())
+		if !ok || p.SlowFactor <= 1 {
+			continue
+		}
+		fi := opencl.NewFaultInjector(seed + int64(i))
+		for _, dev := range nd.Scheduler().Devices() {
+			fi.SetPlan(dev, opencl.FaultPlan{SpikeRate: 1, SpikeFactor: p.SlowFactor})
+		}
+		nd.Scheduler().Runtime().SetFaultInjector(fi)
+	}
+}
+
+// chaosTemplate builds a soak-local template scheduler: slow plans arm
+// fault injectors on node schedulers (node0 shares the template's), so
+// the package-shared template must not be used here.
+func chaosTemplate(t testing.TB) *core.Scheduler {
+	t.Helper()
+	tmpl, err := core.New(core.Config{
+		TrainModels: models.PaperModels(),
+		Batches:     []int{8, 512, 8192, 65536},
+		Reps:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tmpl.LoadModel(models.Simple(), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tmpl.LoadModel(models.MnistSmall(), 1); err != nil {
+		t.Fatal(err)
+	}
+	return tmpl
+}
+
+// chaosRun drives a 16-node resilient fleet (node hedging + straggler
+// probation on) under closed-loop client load until the virtual clock
+// passes the chaos horizon. Returns client-side SLO attainment and the
+// final fleet stats.
+func chaosRun(t *testing.T, tmpl *core.Scheduler, ci *ChaosInjector, fleetSize, clients int, horizon, deadline time.Duration) (float64, FleetStats) {
+	t.Helper()
+	pol, err := PolicyByName("least-loaded", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gated clock: virtual time holds at 0 until the fleet is fully
+	// built and armed, so chaos windows (scripted from virtual 0) can't
+	// expire during replica construction — which takes multiple seconds
+	// under the race detector.
+	var startNanos atomic.Int64
+	cfg := Config{
+		Policy:     pol,
+		SweepEvery: 50,
+		NodeHedge:  true,
+		Straggler:  StragglerConfig{Enabled: true},
+		Chaos:      ci,
+		Clock: func() time.Duration {
+			s := startNanos.Load()
+			if s == 0 {
+				return 0
+			}
+			return time.Duration(time.Now().UnixNano() - s)
+		},
+	}
+	c, nodes, err := Build(tmpl, fleetSize, 1, core.PipelineConfig{
+		Window: 200 * time.Microsecond, MaxBatch: 32,
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if ci != nil {
+		armSlowPlans(nodes, ci, 9)
+	}
+	startNanos.Store(time.Now().UnixNano())
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	mods := []string{"simple", "mnist-small"}
+	var attempts, ok, failed atomic.Int64
+	errCh := make(chan error, clients)
+	var wg sync.WaitGroup
+	until := horizon + 300*time.Millisecond
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for k := 0; c.Clock()() < until; k++ {
+				attempts.Add(1)
+				fut, err := c.Submit(ctx, core.PipelineRequest{
+					Model:    mods[(i+k)%len(mods)],
+					Policy:   core.BestThroughput,
+					Batch:    1 << (k % 3),
+					Deadline: deadline,
+				})
+				switch {
+				case errors.Is(err, core.ErrAdmissionFull), errors.Is(err, core.ErrDeadlineInfeasible),
+					errors.Is(err, ErrNoHealthyNodes), errors.Is(err, core.ErrNodeDraining),
+					errors.Is(err, core.ErrNodeDown):
+					failed.Add(1)
+					continue
+				case err != nil:
+					errCh <- err
+					return
+				}
+				comp, err := fut.Wait(ctx)
+				switch {
+				case err != nil:
+					errCh <- err
+					return
+				case comp.Err != nil:
+					failed.Add(1)
+				default:
+					ok.Add(1)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatalf("chaos client failed: %v", err)
+	}
+	if n := attempts.Load(); ok.Load()+failed.Load() != n {
+		t.Fatalf("client accounting leaked: %d attempts, %d ok + %d failed", n, ok.Load(), failed.Load())
+	}
+	// The no-lost-futures identity (Submitted ≡ Completed) only holds
+	// once the pipelines drain: a cancelled hedge loser's node-side
+	// completion can land after the caller's future resolved. Close
+	// before the final snapshot (the deferred Close is a no-op then).
+	c.Close()
+	return float64(ok.Load()) / float64(attempts.Load()), c.Stats()
+}
+
+// assertNoLostFutures checks the fleet-wide conservation law: every
+// admitted request's future resolved (Completed includes the ok,
+// Failed, Cancelled and Expired buckets — see core.PipelineStats).
+func assertNoLostFutures(t *testing.T, st FleetStats) {
+	t.Helper()
+	if st.Completed != st.Submitted {
+		t.Fatalf("lost futures: submitted %d, completed %d (cancelled %d expired %d failed %d)",
+			st.Submitted, st.Completed, st.Cancelled, st.Expired, st.Failed)
+	}
+}
+
+// TestSoakChaos is the PR 9 acceptance soak: a 16-node resilient fleet
+// rides out 2 seeded crash-window nodes (flapping restarts) plus 2
+// always-slow straggler nodes with feasible-SLO attainment within 5
+// points of the no-fault baseline, nonzero hedge wins and migrations,
+// and zero lost futures.
+func TestSoakChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("attainment bars need realistic wall timing; TestChaosSmoke is the race-detector drill")
+	}
+	const (
+		fleetSize = 16
+		clients   = 16
+	)
+	horizon := 2500 * time.Millisecond
+	deadline := 2 * time.Millisecond
+	tmpl := chaosTemplate(t)
+	plans, err := GenerateChaosPlans(fleetNamesForTest(fleetSize), ChaosConfig{
+		Seed: 9, Crash: 2, Slow: 2, Horizon: horizon, Flaps: 2, SlowFactor: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	baseAtt, baseSt := chaosRun(t, tmpl, nil, fleetSize, clients, horizon, deadline)
+	chaosAtt, chaosSt := chaosRun(t, tmpl, NewChaosInjector(plans), fleetSize, clients, horizon, deadline)
+	t.Logf("baseline: attainment %.4f, submits %d", baseAtt, baseSt.Submits)
+	t.Logf("chaos:    attainment %.4f, submits %d", chaosAtt, chaosSt.Submits)
+	t.Logf("chaos counters: hedges %d won %d, migrations %d, suspicions %d, probations %d, falseSuspects %d, probes %d, trips %d, recoveries %d, benignCancels %d",
+		chaosSt.NodeHedges, chaosSt.NodeHedgesWon, chaosSt.Migrations, chaosSt.Suspicions,
+		chaosSt.Probations, chaosSt.FalseSuspects, chaosSt.Probes, chaosSt.ChaosTrips,
+		chaosSt.ChaosRecoveries, chaosSt.BenignCancels)
+
+	if chaosAtt < baseAtt-0.05 {
+		t.Fatalf("chaos attainment %.4f fell more than 5 points below baseline %.4f", chaosAtt, baseAtt)
+	}
+	if chaosSt.NodeHedgesWon == 0 {
+		t.Fatal("no node hedge ever won against the stragglers")
+	}
+	if chaosSt.Migrations == 0 {
+		t.Fatal("no queued work ever migrated off a degraded node")
+	}
+	if chaosSt.ChaosTrips < 2 {
+		t.Fatalf("chaos trips = %d, want the scripted crash windows entered", chaosSt.ChaosTrips)
+	}
+	assertNoLostFutures(t, baseSt)
+	assertNoLostFutures(t, chaosSt)
+}
+
+// fleetNamesForTest matches Build's node0..node{n-1} naming so seeded
+// plans land on real fleet members.
+func fleetNamesForTest(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("node%d", i)
+	}
+	return names
+}
+
+// TestChaosSmoke is the CI drill behind `make smoke-chaos`: the same
+// 16-node seeded incident at a shorter horizon under the race detector,
+// with brownout also armed so every resilience path runs concurrently.
+// Asserts invariants only (accounting, no wedged clients, windows
+// entered); the attainment bar is the soak's job.
+func TestChaosSmoke(t *testing.T) {
+	const fleetSize = 16
+	horizon := 800 * time.Millisecond
+	tmpl := chaosTemplate(t)
+	plans, err := GenerateChaosPlans(fleetNamesForTest(fleetSize), ChaosConfig{
+		Seed: 9, Crash: 2, Slow: 2, Horizon: horizon, Flaps: 2, SlowFactor: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st := chaosRun(t, tmpl, NewChaosInjector(plans), fleetSize, 8, horizon, 2*time.Millisecond)
+	assertNoLostFutures(t, st)
+	if st.ChaosTrips == 0 {
+		t.Fatal("no crash window was ever entered")
+	}
+	if st.Submits == 0 || st.Submitted == 0 {
+		t.Fatalf("smoke served nothing: %+v", st)
+	}
+}

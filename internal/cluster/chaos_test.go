@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func chaosNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = "node" + string(rune('0'+i/10)) + string(rune('0'+i%10))
+	}
+	return names
+}
+
+// TestChaosPlansDeterministic is the replay property every soak rests
+// on: the same (seed, fleet, config) produces byte-identical plans, and
+// a different seed picks a different incident.
+func TestChaosPlansDeterministic(t *testing.T) {
+	names := chaosNames(16)
+	cfg := ChaosConfig{Seed: 7, Crash: 2, Slow: 2}
+	a, err := GenerateChaosPlans(names, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateChaosPlans(names, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different plans:\n%+v\n%+v", a, b)
+	}
+	c, err := GenerateChaosPlans(names, ChaosConfig{Seed: 8, Crash: 2, Slow: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("seeds 7 and 8 scripted the identical incident")
+	}
+}
+
+// TestChaosPlansShape checks the structural invariants: the requested
+// node counts, distinct targets, and per-flap crash windows that are
+// sorted, non-overlapping, and inside the horizon.
+func TestChaosPlansShape(t *testing.T) {
+	names := chaosNames(16)
+	cfg := ChaosConfig{Seed: 42, Crash: 3, Slow: 2, Horizon: 8 * time.Second, Flaps: 4}
+	plans, err := GenerateChaosPlans(names, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != 5 {
+		t.Fatalf("want 5 plans, got %d", len(plans))
+	}
+	seen := map[string]bool{}
+	var crashed, slowed int
+	for _, p := range plans {
+		if seen[p.Node] {
+			t.Fatalf("node %s picked twice", p.Node)
+		}
+		seen[p.Node] = true
+		if !strings.HasPrefix(p.Node, "node") {
+			t.Fatalf("plan names unknown node %q", p.Node)
+		}
+		switch {
+		case len(p.Crashes) > 0:
+			crashed++
+			if p.SlowFactor != 0 {
+				t.Fatalf("node %s is both crashed and slowed", p.Node)
+			}
+			if len(p.Crashes) != cfg.Flaps {
+				t.Fatalf("node %s: %d flaps, want %d", p.Node, len(p.Crashes), cfg.Flaps)
+			}
+			for i, w := range p.Crashes {
+				if w.Start < 0 || w.End <= w.Start || w.End > cfg.Horizon {
+					t.Fatalf("node %s window %d out of bounds: %+v", p.Node, i, w)
+				}
+				if i > 0 && w.Start < p.Crashes[i-1].End {
+					t.Fatalf("node %s windows overlap: %+v then %+v", p.Node, p.Crashes[i-1], w)
+				}
+			}
+		case p.SlowFactor > 1:
+			slowed++
+		default:
+			t.Fatalf("plan for %s scripts nothing: %+v", p.Node, p)
+		}
+	}
+	if crashed != cfg.Crash || slowed != cfg.Slow {
+		t.Fatalf("got %d crashed, %d slowed; want %d, %d", crashed, slowed, cfg.Crash, cfg.Slow)
+	}
+}
+
+func TestChaosPlansRejectOversizedFaults(t *testing.T) {
+	names := chaosNames(4)
+	if _, err := GenerateChaosPlans(names, ChaosConfig{Crash: 3, Slow: 2}); err == nil {
+		t.Fatal("3 crash + 2 slow on a 4-node fleet accepted")
+	}
+	if _, err := GenerateChaosPlans(names, ChaosConfig{Crash: -1}); err == nil {
+		t.Fatal("negative crash count accepted")
+	}
+}
+
+func TestChaosInjectorWindows(t *testing.T) {
+	ci := NewChaosInjector([]ChaosPlan{
+		{Node: "a", Crashes: []ChaosWindow{{Start: time.Second, End: 2 * time.Second}, {Start: 4 * time.Second, End: 5 * time.Second}}},
+		{Node: "b", Crashes: []ChaosWindow{{Start: 1500 * time.Millisecond, End: 3 * time.Second}}},
+		{Node: "s", SlowFactor: 4},
+	})
+	cases := []struct {
+		node string
+		now  time.Duration
+		down bool
+		left time.Duration
+	}{
+		{"a", 0, false, 0},
+		{"a", time.Second, true, time.Second}, // [Start, End) includes Start
+		{"a", 1900 * time.Millisecond, true, 100 * time.Millisecond},
+		{"a", 2 * time.Second, false, 0}, // ... and excludes End
+		{"a", 4500 * time.Millisecond, true, 500 * time.Millisecond},
+		{"b", 2 * time.Second, true, time.Second},
+		{"s", time.Second, false, 0}, // slow plans never fail-stop
+		{"unknown", time.Second, false, 0},
+	}
+	for _, tc := range cases {
+		down, left := ci.DownAt(tc.node, tc.now)
+		if down != tc.down || left != tc.left {
+			t.Fatalf("DownAt(%s, %v) = (%v, %v), want (%v, %v)", tc.node, tc.now, down, left, tc.down, tc.left)
+		}
+	}
+	// NextRecovery: at 1.6s both a (ends 2s, 400ms left) and b (ends 3s,
+	// 1.4s left) are down — the soonest recovery wins.
+	if d := ci.NextRecovery(1600 * time.Millisecond); d != 400*time.Millisecond {
+		t.Fatalf("NextRecovery = %v, want 400ms", d)
+	}
+	if d := ci.NextRecovery(10 * time.Second); d != 0 {
+		t.Fatalf("NextRecovery with nothing down = %v, want 0", d)
+	}
+	// Plans() is sorted by node name for stable operator output.
+	plans := ci.Plans()
+	for i := 1; i < len(plans); i++ {
+		if plans[i-1].Node >= plans[i].Node {
+			t.Fatalf("Plans() unsorted: %s before %s", plans[i-1].Node, plans[i].Node)
+		}
+	}
+	if _, ok := ci.Plan("a"); !ok {
+		t.Fatal("Plan(a) missing")
+	}
+	if _, ok := ci.Plan("unknown"); ok {
+		t.Fatal("Plan(unknown) found")
+	}
+}

@@ -32,6 +32,12 @@ type Node interface {
 	FeasibleWithin(model string, batch int, deadline, now time.Duration) (bool, time.Duration, error)
 	Load() int64
 	QueueDelay() time.Duration
+	// AvgLatency is the node's delivered-batch completion-latency EWMA —
+	// the fleet straggler signal. Zero until the node has served.
+	AvgLatency() time.Duration
+	// Capacity is the node's occupancy budget (the denominator that
+	// turns Load into the brownout controller's occupancy ratio).
+	Capacity() int64
 	Stats() core.NodeStats
 	Health() core.NodeHealth
 	Drain()
@@ -40,10 +46,15 @@ type Node interface {
 
 // Sentinel errors of the routing tier.
 var (
-	// ErrNoReadyNodes is returned by Submit when every node is evicted —
-	// the fleet-level load-shedding signal (HTTP servers translate it to
-	// 503, like ErrAdmissionFull).
-	ErrNoReadyNodes = errors.New("cluster: no ready nodes")
+	// ErrNoHealthyNodes is returned by Submit when the routing set is
+	// empty — every node evicted, on probation or inside a chaos crash
+	// window. The fleet-level load-shedding signal: HTTP servers
+	// translate it to 503 with a Retry-After derived from
+	// ReadmissionHint.
+	ErrNoHealthyNodes = errors.New("cluster: no healthy nodes")
+	// ErrNoReadyNodes is the pre-PR-9 name of ErrNoHealthyNodes, kept as
+	// an alias so existing errors.Is call sites keep matching.
+	ErrNoReadyNodes = ErrNoHealthyNodes
 	// ErrUnknownNode names a node the cluster does not have.
 	ErrUnknownNode = errors.New("cluster: unknown node")
 )
@@ -74,6 +85,24 @@ type Config struct {
 	SweepEvery int64
 	// Seed parameterises hash-based routing policies built by name.
 	Seed int64
+
+	// Chaos scripts deterministic node-level faults on the shared
+	// virtual clock (crash windows, slow-node plans). Nil disables
+	// chaos. Crash windows act at the routing tier: the node is skipped
+	// by eligible() for the window and its pending deadline work is
+	// migrated, then it is routable again — the flapping-restart model.
+	Chaos *ChaosInjector
+	// NodeHedge enables cluster-aware hedging: a deadline request whose
+	// slack halves with no completion (predicted at submit, or observed
+	// by the wall-clock trigger) launches a backup submission on the
+	// next-best node; the first result wins and the loser is cancelled.
+	NodeHedge bool
+	// Straggler enables per-node latency-EWMA straggler detection, the
+	// Suspect probation state and queued-work migration.
+	Straggler StragglerConfig
+	// Brownout enables the fleet overload controller (progressive
+	// shedding of optional work with hysteretic restore).
+	Brownout BrownoutConfig
 }
 
 func (c *Config) fillDefaults() {
@@ -95,6 +124,8 @@ func (c *Config) fillDefaults() {
 	if c.SweepEvery == 0 {
 		c.SweepEvery = 64
 	}
+	c.Straggler.fillDefaults()
+	c.Brownout.fillDefaults()
 }
 
 // member is one node plus the cluster-side routing state around it.
@@ -106,6 +137,26 @@ type member struct {
 	hardFails atomic.Int64 // consecutive down/draining submit failures
 	routed    atomic.Int64 // requests this node accepted
 	rerouted  atomic.Int64 // requests accepted after another node refused
+
+	// lifeMu serialises operator lifecycle transitions (Drain/Kill) on
+	// this member, so a Kill landing on an already-draining node orders
+	// strictly behind the drain instead of racing it.
+	lifeMu sync.Mutex
+
+	// Probation state (the Suspect health state; see health.go).
+	suspect     atomic.Bool // on probation: no routed traffic, probes only
+	probEvicted atomic.Bool // evicted by failed probation: sweep must not auto-readmit
+	probMu      sync.Mutex
+	prob        probation
+
+	// chaosDown tracks crash-window membership edges so the sweep
+	// migrates pending work exactly once per window entry.
+	chaosDown atomic.Bool
+
+	// pending registers this member's in-flight resilient submissions
+	// (see resilience.go); a migration cancels them all.
+	pendMu  sync.Mutex
+	pending map[*submission]context.CancelCauseFunc
 }
 
 // Cluster is N nodes behind a routing policy on a shared virtual clock.
@@ -120,6 +171,31 @@ type Cluster struct {
 	readmissions atomic.Int64
 	sweeping     atomic.Bool
 	closeOnce    sync.Once
+
+	// relays tracks the resilient path's relay and probe goroutines;
+	// Close waits for them, so "every future resolved after Close"
+	// extends to detached futures.
+	relays sync.WaitGroup
+
+	// Resilience counters (see resilience.go / health.go).
+	nodeHedges       atomic.Int64 // backup submissions launched on another node
+	nodeHedgeWins    atomic.Int64 // hedges whose result resolved the caller's future
+	hedgesSuppressed atomic.Int64 // hedges skipped by brownout level ≥ 1
+	migrations       atomic.Int64 // queued submissions re-routed off a degraded node
+	suspicions       atomic.Int64 // Healthy → Suspect transitions
+	probations       atomic.Int64 // Suspect → Healthy clears
+	falseSuspects    atomic.Int64 // clears where no probe ever failed
+	probes           atomic.Int64 // probe requests judged
+	probeCursor      atomic.Int64 // round-robin cursor over suspects
+	chaosTrips       atomic.Int64 // crash-window entries observed
+	chaosRecoveries  atomic.Int64 // crash-window exits observed
+	benignCancels    atomic.Int64 // node-side cancels of hedge losers / migrated work
+
+	// Brownout controller state (see brownout.go).
+	broLevel       atomic.Int32
+	broOcc         atomic.Uint64 // occupancy EWMA as float64 bits
+	brownoutSheds  atomic.Int64
+	broTransitions atomic.Int64
 }
 
 // New builds a cluster over pre-built nodes. Node names must be unique —
@@ -185,6 +261,9 @@ func Build(template *core.Scheduler, n int, seed int64, pcfg core.PipelineConfig
 // Policy returns the active routing policy's name.
 func (c *Cluster) Policy() string { return c.cfg.Policy.Name() }
 
+// Chaos returns the scripted chaos injector, nil when none is armed.
+func (c *Cluster) Chaos() *ChaosInjector { return c.cfg.Chaos }
+
 // Clock returns the fleet's shared virtual clock.
 func (c *Cluster) Clock() func() time.Duration { return c.cfg.Clock }
 
@@ -200,13 +279,24 @@ func (c *Cluster) NodeNames() []string {
 	return out
 }
 
-// eligible snapshots the current routing set as policy views.
+// eligible snapshots the current routing set as policy views: members
+// that are not evicted, not on probation, and not inside a chaos crash
+// window right now.
 func (c *Cluster) eligible() ([]*member, []NodeView) {
+	var now time.Duration
+	if c.cfg.Chaos != nil {
+		now = c.cfg.Clock()
+	}
 	ms := make([]*member, 0, len(c.members))
 	views := make([]NodeView, 0, len(c.members))
 	for _, m := range c.members {
-		if m.evicted.Load() {
+		if m.evicted.Load() || m.suspect.Load() {
 			continue
+		}
+		if c.cfg.Chaos != nil {
+			if down, _ := c.cfg.Chaos.DownAt(m.node.Name(), now); down {
+				continue
+			}
 		}
 		ms = append(ms, m)
 		views = append(views, NodeView{Index: m.idx, Name: m.node.Name(), Load: m.node.Load(), node: m.node})
@@ -238,6 +328,9 @@ func (c *Cluster) Submit(ctx context.Context, req core.PipelineRequest) (*core.F
 	if c.cfg.SweepEvery > 0 && total%c.cfg.SweepEvery == 0 {
 		c.sweep()
 	}
+	if st := &c.cfg.Straggler; st.Enabled && st.ProbeEvery > 0 && total%st.ProbeEvery == 0 {
+		c.probeOneSuspect(req.Model)
+	}
 	size := req.Batch
 	if req.Input != nil && req.Input.Rank() >= 1 {
 		size = req.Input.Dim(0)
@@ -245,7 +338,13 @@ func (c *Cluster) Submit(ctx context.Context, req core.PipelineRequest) (*core.F
 	ms, views := c.eligible()
 	if len(ms) == 0 {
 		c.routeFails.Add(1)
-		return nil, ErrNoReadyNodes
+		return nil, fmt.Errorf("%w: all %d nodes evicted, on probation or in a chaos window", ErrNoHealthyNodes, len(c.members))
+	}
+	if c.cfg.Brownout.Enabled {
+		if err := c.brownoutAdmit(req, ms, views); err != nil {
+			c.routeFails.Add(1)
+			return nil, err
+		}
 	}
 	order := c.cfg.Policy.Route(Request{
 		Model: req.Model,
@@ -253,6 +352,9 @@ func (c *Cluster) Submit(ctx context.Context, req core.PipelineRequest) (*core.F
 		SLO:   routeSLO(req),
 		Now:   c.cfg.Clock(),
 	}, views)
+	if c.resilientFor(req) {
+		return c.submitResilient(ctx, req, ms, order)
+	}
 	attempts := c.cfg.MaxAttempts
 	if attempts > len(order) {
 		attempts = len(order)
@@ -350,9 +452,30 @@ func (c *Cluster) sweep() {
 		switch {
 		case !h.Ready && !m.evicted.Load():
 			c.evict(m)
-		case h.Ready && m.evicted.Load():
+		case h.Ready && m.evicted.Load() && !m.probEvicted.Load():
+			// Probation evictions are pinned: the node's lifecycle health
+			// looks fine (a straggler is Ready, just slow), so only an
+			// operator Readmit — not this sweep — may return it.
 			c.readmit(m)
 		}
+	}
+	if ci := c.cfg.Chaos; ci != nil {
+		now := c.cfg.Clock()
+		for _, m := range c.members {
+			down, _ := ci.DownAt(m.node.Name(), now)
+			switch {
+			case down && m.chaosDown.CompareAndSwap(false, true):
+				c.chaosTrips.Add(1)
+				// The node just fail-stopped: move its queued deadline
+				// work to healthy nodes before the SLOs burn down.
+				c.migrateFrom(m)
+			case !down && m.chaosDown.CompareAndSwap(true, false):
+				c.chaosRecoveries.Add(1)
+			}
+		}
+	}
+	if c.cfg.Straggler.Enabled {
+		c.detectStragglers()
 	}
 }
 
@@ -380,6 +503,8 @@ func (c *Cluster) Drain(name string) error {
 		return err
 	}
 	c.evict(m)
+	m.lifeMu.Lock()
+	defer m.lifeMu.Unlock()
 	m.node.Drain()
 	return nil
 }
@@ -408,19 +533,28 @@ func (c *Cluster) Readmit(name string) error {
 		return fmt.Errorf("cluster: node %q is not ready (%s, %d/%d devices quarantined)",
 			name, h.State, h.Quarantined, h.Devices)
 	}
+	// The operator overrides a failed probation: clear the pin and any
+	// leftover suspicion. Probation epochs are deliberately kept — a
+	// node with a flapping history re-earns trust on the doubled bar.
+	m.probEvicted.Store(false)
+	m.suspect.Store(false)
 	c.readmit(m)
 	return nil
 }
 
 // Kill fail-stops a node (the failure drill): it is evicted from routing
 // and refuses all new work immediately; requests it had already accepted
-// still resolve.
+// still resolve. A Kill landing while the node drains serialises behind
+// the drain through the member's lifecycle mutex — the transitions land
+// in a strict order instead of racing into the node.
 func (c *Cluster) Kill(name string) error {
 	m, err := c.findMember(name)
 	if err != nil {
 		return err
 	}
 	c.evict(m)
+	m.lifeMu.Lock()
+	defer m.lifeMu.Unlock()
 	m.node.Kill()
 	return nil
 }
@@ -435,11 +569,31 @@ func (c *Cluster) Close() {
 			wg.Add(1)
 			go func(m *member) {
 				defer wg.Done()
+				m.lifeMu.Lock()
+				defer m.lifeMu.Unlock()
 				m.node.Drain()
 			}(m)
 		}
 		wg.Wait()
+		// Every node future has resolved, so every relay and probe
+		// goroutine terminates; waiting here extends the "everything
+		// resolved after Close" contract to detached futures.
+		c.relays.Wait()
 	})
+}
+
+// ReadmissionHint is how soon a fleet-wide refusal is worth retrying:
+// the soonest chaos crash-window recovery when chaos is scripted, else
+// a one-second floor covering the submission-driven sweep's readmission
+// cadence. Servers derive the Retry-After of ErrNoHealthyNodes 503s
+// from it.
+func (c *Cluster) ReadmissionHint() time.Duration {
+	if ci := c.cfg.Chaos; ci != nil {
+		if d := ci.NextRecovery(c.cfg.Clock()); d > 0 {
+			return d
+		}
+	}
+	return time.Second
 }
 
 // NodeSnapshot is one node's row in the fleet stats.
@@ -447,6 +601,13 @@ type NodeSnapshot struct {
 	Name    string
 	State   string
 	Evicted bool
+	// Suspect marks a node on latency probation (no routed traffic,
+	// probe traffic only); ChaosDown marks a node inside a scripted
+	// crash window right now.
+	Suspect   bool
+	ChaosDown bool
+	// AvgLatency is the node's delivered-batch completion-latency EWMA.
+	AvgLatency time.Duration
 	// Routed/Rerouted count router decisions that landed here; Rerouted
 	// is the subset accepted after a higher-ranked node refused.
 	Routed   int64
@@ -482,6 +643,23 @@ type FleetStats struct {
 	Evictions     int64
 	Readmissions  int64
 
+	// Resilience activity (PR 9): cluster-aware hedging, straggler
+	// probation/migration, chaos windows and brownout shedding.
+	NodeHedges       int64 // backup submissions launched on another node
+	NodeHedgesWon    int64 // hedges whose result won the caller's future
+	HedgesSuppressed int64 // hedges skipped under brownout
+	Migrations       int64 // queued submissions re-routed off degraded nodes
+	Suspicions       int64 // Healthy → Suspect transitions
+	Probations       int64 // Suspect → Healthy clears
+	FalseSuspects    int64 // clears where no probe ever failed
+	Probes           int64 // probe requests judged
+	ChaosTrips       int64 // crash-window entries
+	ChaosRecoveries  int64 // crash-window exits
+	BenignCancels    int64 // node-side cancels of hedge losers / migrated work
+	Suspects         int   // members currently on probation
+	BrownoutLevel    int
+	BrownoutSheds    int64
+
 	// Aggregated serving counters (sums over nodes).
 	Submitted  int64
 	Completed  int64
@@ -514,6 +692,23 @@ func (c *Cluster) Stats() FleetStats {
 	st.RouteFailures = c.routeFails.Load()
 	st.Evictions = c.evictions.Load()
 	st.Readmissions = c.readmissions.Load()
+	st.NodeHedges = c.nodeHedges.Load()
+	st.NodeHedgesWon = c.nodeHedgeWins.Load()
+	st.HedgesSuppressed = c.hedgesSuppressed.Load()
+	st.Migrations = c.migrations.Load()
+	st.Suspicions = c.suspicions.Load()
+	st.Probations = c.probations.Load()
+	st.FalseSuspects = c.falseSuspects.Load()
+	st.Probes = c.probes.Load()
+	st.ChaosTrips = c.chaosTrips.Load()
+	st.ChaosRecoveries = c.chaosRecoveries.Load()
+	st.BenignCancels = c.benignCancels.Load()
+	st.BrownoutLevel = int(c.broLevel.Load())
+	st.BrownoutSheds = c.brownoutSheds.Load()
+	var chaosNow time.Duration
+	if c.cfg.Chaos != nil {
+		chaosNow = c.cfg.Clock()
+	}
 	for _, m := range c.members {
 		ns := m.node.Stats()
 		h := m.node.Health()
@@ -522,6 +717,8 @@ func (c *Cluster) Stats() FleetStats {
 			Name:               ns.Name,
 			State:              ns.State.String(),
 			Evicted:            m.evicted.Load(),
+			Suspect:            m.suspect.Load(),
+			AvgLatency:         m.node.AvgLatency(),
 			Routed:             m.routed.Load(),
 			Rerouted:           m.rerouted.Load(),
 			Submitted:          p.Submitted,
@@ -538,7 +735,13 @@ func (c *Cluster) Stats() FleetStats {
 			QuarantinedDevices: h.Quarantined,
 			DegradedDevices:    h.Degraded,
 		}
-		if !snap.Evicted {
+		if c.cfg.Chaos != nil {
+			snap.ChaosDown, _ = c.cfg.Chaos.DownAt(snap.Name, chaosNow)
+		}
+		if snap.Suspect {
+			st.Suspects++
+		}
+		if !snap.Evicted && !snap.Suspect && !snap.ChaosDown {
 			st.Ready++
 		}
 		st.Submitted += p.Submitted
@@ -552,6 +755,14 @@ func (c *Cluster) Stats() FleetStats {
 		st.InFlight += p.InFlight
 		st.PerNode = append(st.PerNode, snap)
 	}
-	st.SLOAttainment = attainment(st.Submitted, st.Cancelled+st.Expired+st.Failed)
+	// Hedge losers and migrated-away submissions resolve as node-side
+	// cancels but the request itself completed elsewhere: subtract the
+	// benign cancels from both sides so resilience machinery does not
+	// read as lost goodput.
+	benign := st.BenignCancels
+	if benign > st.Cancelled {
+		benign = st.Cancelled // racing snapshot: never go negative
+	}
+	st.SLOAttainment = attainment(st.Submitted-benign, st.Cancelled+st.Expired+st.Failed-benign)
 	return st
 }

@@ -20,12 +20,27 @@ type fakeNode struct {
 	predict time.Duration // FeasibleWithin's predicted completion latency
 	predErr error
 
+	capacity int64 // Capacity() when > 0 (else 64)
+
 	mu       sync.Mutex
 	err      error // returned by Submit when set
+	avgLat   time.Duration
 	accepted []string
 	drains   int
 	kills    int
 	ready    bool
+
+	// serving mode: when serve is set, Submit hands out a detached
+	// future that a goroutine resolves with {serveErr, serveLat} after
+	// serveWait of wall time. A submission cancelled before then
+	// resolves with context.Canceled instead — the same contract a real
+	// pipeline honours when it culls queued work, which is what the
+	// resilience relays arbitrate on.
+	serve     bool
+	serveWait time.Duration
+	serveLat  time.Duration
+	serveErr  error
+	scale     float64 // last SetWindowScale value (windowScaler)
 }
 
 func newFakeNode(name string, load int64) *fakeNode {
@@ -35,14 +50,76 @@ func newFakeNode(name string, load int64) *fakeNode {
 func (f *fakeNode) Name() string { return f.name }
 func (f *fakeNode) Load() int64  { return f.load }
 
-func (f *fakeNode) Submit(_ context.Context, req core.PipelineRequest) (*core.Future, error) {
+func (f *fakeNode) AvgLatency() time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.avgLat
+}
+
+func (f *fakeNode) Capacity() int64 {
+	if f.capacity > 0 {
+		return f.capacity
+	}
+	return 64
+}
+
+func (f *fakeNode) setAvgLatency(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.avgLat = d
+}
+
+func (f *fakeNode) Submit(ctx context.Context, req core.PipelineRequest) (*core.Future, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.err != nil {
 		return nil, f.err
 	}
 	f.accepted = append(f.accepted, req.Model)
-	return nil, nil
+	if !f.serve {
+		return nil, nil
+	}
+	fut := core.NewDetachedFuture()
+	comp := core.Completion{Latency: f.serveLat, Err: f.serveErr}
+	wait := f.serveWait
+	go func() {
+		if wait > 0 {
+			select {
+			case <-ctx.Done():
+				fut.Resolve(core.Completion{Err: context.Canceled})
+				return
+			case <-time.After(wait):
+			}
+		} else if ctx.Err() != nil {
+			fut.Resolve(core.Completion{Err: context.Canceled})
+			return
+		}
+		fut.Resolve(comp)
+	}()
+	return fut, nil
+}
+
+// setServe flips the fake into serving mode: futures resolve with
+// {err, lat} after wait of wall time, or context.Canceled on cancel.
+func (f *fakeNode) setServe(wait, lat time.Duration, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.serve = true
+	f.serveWait = wait
+	f.serveLat = lat
+	f.serveErr = err
+}
+
+func (f *fakeNode) SetWindowScale(scale float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.scale = scale
+}
+
+func (f *fakeNode) windowScale() float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.scale
 }
 
 func (f *fakeNode) FeasibleWithin(_ string, _ int, deadline, _ time.Duration) (bool, time.Duration, error) {

@@ -1,0 +1,7 @@
+//go:build !race
+
+package cluster
+
+// raceEnabled reports whether the race detector is compiled in; the
+// chaos soak relaxes its wall-time-coupled assertions under it.
+const raceEnabled = false

@@ -182,6 +182,18 @@ func (n *Node) Load() int64 { return n.pipe.Load() }
 // work would observe behind already-queued batches on its worst device.
 func (n *Node) QueueDelay() time.Duration { return n.pipe.QueueDelay() }
 
+// Capacity is the node pipeline's occupancy budget — the denominator of
+// the cluster brownout controller's fleet occupancy ratio.
+func (n *Node) Capacity() int64 { return n.pipe.Capacity() }
+
+// AvgLatency is the node pipeline's delivered-batch completion-latency
+// EWMA — the cluster tier's per-node straggler signal.
+func (n *Node) AvgLatency() time.Duration { return n.pipe.AvgLatency() }
+
+// SetWindowScale rescales the node's live batching window (brownout
+// level 3: trade latency for batch efficiency under fleet overload).
+func (n *Node) SetWindowScale(scale float64) { n.pipe.SetWindowScale(scale) }
+
 // Stats snapshots the node's serving activity.
 func (n *Node) Stats() NodeStats {
 	ss := n.sched.Stats()

@@ -87,6 +87,24 @@ type Pipeline struct {
 	inflight atomic.Int64   // batches queued or executing
 	workers  sync.WaitGroup // device workers + recovery prober still running
 
+	// windowNow is the live batching window in nanoseconds. It starts at
+	// cfg.Window and is rescaled at run time by SetWindowScale — the
+	// fleet brownout controller widens it under overload to trade
+	// latency for batch efficiency, and restores it on recovery.
+	windowNow atomic.Int64
+
+	// latEWMA tracks the virtual completion latency (arrival →
+	// completion) as an EWMA over delivered batches, in nanoseconds —
+	// the per-node straggler signal the cluster tier compares across the
+	// fleet. Only successful deliveries fold in; failures and culls are
+	// accounted elsewhere.
+	latEWMA atomic.Int64
+
+	// capacity is the admission budget (per-shard depth summed), computed
+	// once at construction — the denominator of the cluster brownout
+	// controller's occupancy ratio.
+	capacity int64
+
 	submitted  atomic.Int64
 	shed       atomic.Int64
 	infeasible atomic.Int64
@@ -295,7 +313,45 @@ type Completion struct {
 type Future struct {
 	ch  chan Completion
 	gen atomic.Uint64
+
+	// detached marks a future created by NewDetachedFuture: it is
+	// resolved through Resolve (cluster-tier arbitration over racing node
+	// submissions) instead of the pipeline's finish path, and it never
+	// enters the pool — its resolved flag would otherwise leak into a
+	// recycled pipeline future.
+	detached bool
+	resolved atomic.Bool
 }
+
+// NewDetachedFuture returns an unpooled future the caller resolves via
+// Resolve. The cluster tier's hedging and migration paths use it to
+// present one future over several racing node submissions: whichever
+// underlying completion arrives first is Resolve()d into it, and the
+// caller waits on it exactly like a pipeline future.
+func NewDetachedFuture() *Future {
+	return &Future{ch: make(chan Completion, 1), detached: true}
+}
+
+// Resolve delivers c to a detached future exactly once, reporting
+// whether this call won the resolution (losers' completions are
+// discarded — the cluster's first-result-wins arbitration). Calling
+// Resolve on a pipeline-issued future is a programming error; it
+// panics to surface the misuse instead of corrupting delivery.
+func (f *Future) Resolve(c Completion) bool {
+	if !f.detached {
+		panic("core: Resolve on a pipeline-owned future")
+	}
+	if !f.resolved.CompareAndSwap(false, true) {
+		return false
+	}
+	f.ch <- c // buffered(1); the CAS above makes delivery exactly-once
+	return true
+}
+
+// Resolved reports whether a detached future has been resolved. Only
+// meaningful for detached futures — pipeline futures resolve through
+// their pipeReq's done flag, which this does not observe.
+func (f *Future) Resolved() bool { return f.resolved.Load() }
 
 var futurePool = sync.Pool{New: func() any { return &Future{ch: make(chan Completion, 1)} }}
 
@@ -314,7 +370,7 @@ func (f *Future) waitRelease(ctx context.Context) (Completion, error) {
 		// against, so skip selectgo for a plain channel receive. This is
 		// the hot closed-loop serving path.
 		c := <-f.ch
-		if f.gen.CompareAndSwap(gen, gen+1) {
+		if !f.detached && f.gen.CompareAndSwap(gen, gen+1) {
 			futurePool.Put(f)
 		}
 		return c, nil
@@ -325,7 +381,9 @@ func (f *Future) waitRelease(ctx context.Context) (Completion, error) {
 		// the future can serve the next request. The CAS loses only if
 		// another (buggy) release of this generation beat us — then the
 		// pool already owns f and putting it again would double-issue it.
-		if f.gen.CompareAndSwap(gen, gen+1) {
+		// Detached futures never enter the pool (their resolved flag
+		// would leak into a recycled pipeline future).
+		if !f.detached && f.gen.CompareAndSwap(gen, gen+1) {
 			futurePool.Put(f)
 		}
 		return c, nil
@@ -689,10 +747,12 @@ func NewPipeline(sched *Scheduler, cfg PipelineConfig) *Pipeline {
 		drained: make(chan struct{}),
 		queues:  map[string]*deviceQueue{},
 	}
+	p.windowNow.Store(int64(cfg.Window))
 	perShard := cfg.QueueDepth / cfg.AdmitShards
 	if perShard < 1 {
 		perShard = 1
 	}
+	p.capacity = int64(perShard * cfg.AdmitShards)
 	p.shards = make([]*admitShard, cfg.AdmitShards)
 	p.shardMask = uint32(cfg.AdmitShards - 1)
 	for i := range p.shards {
@@ -706,6 +766,9 @@ func NewPipeline(sched *Scheduler, cfg PipelineConfig) *Pipeline {
 	for _, name := range sched.Devices() {
 		dq := &deviceQueue{name: name, ch: make(chan *batchWork, cfg.DeviceQueueDepth)}
 		p.queues[name] = dq
+		// Each device contributes its queue slots plus the one executing
+		// batch to the occupancy Load can legitimately report.
+		p.capacity += int64(cfg.DeviceQueueDepth + 1)
 	}
 	sched.SetQueueProbe(p.probeQueue)
 	for _, dq := range p.queues {
@@ -925,6 +988,39 @@ func (p *Pipeline) Load() int64 {
 	return n
 }
 
+// Capacity is the pipeline's occupancy budget: admission slots plus
+// device queue slots plus one executing batch per device — the
+// denominator that turns Load into the occupancy ratio the fleet
+// brownout controller thresholds on.
+func (p *Pipeline) Capacity() int64 { return p.capacity }
+
+// AvgLatency is the EWMA of delivered-batch completion latency (oldest
+// arrival → completion, virtual time). It is the cluster tier's
+// per-node straggler signal: a node whose EWMA is a fleet-p99 outlier
+// goes on probation. Zero until the first batch delivers.
+func (p *Pipeline) AvgLatency() time.Duration {
+	return time.Duration(p.latEWMA.Load())
+}
+
+// SetWindowScale rescales the live batching window to scale×cfg.Window,
+// clamped to [1, 8]. The brownout controller widens the window under
+// fleet overload (bigger batches, better device efficiency, worse
+// latency) and restores it on recovery. Aggregates already armed keep
+// their old window; new arrivals see the new one.
+func (p *Pipeline) SetWindowScale(scale float64) {
+	if scale < 1 {
+		scale = 1
+	} else if scale > 8 {
+		scale = 8
+	}
+	p.windowNow.Store(int64(float64(p.cfg.Window) * scale))
+}
+
+// window is the live batching window (cfg.Window × the current scale).
+func (p *Pipeline) window() time.Duration {
+	return time.Duration(p.windowNow.Load())
+}
+
 // QueueDelay estimates the delay new work would observe behind already
 // queued batches — the worst per-device occupancy estimate (virtual or
 // clock EWMA, whichever is larger). Servers derive the Retry-After hint
@@ -1116,12 +1212,12 @@ func (p *Pipeline) armTimers(sh *admitShard) {
 		agg.timerArmed = true
 		if wt := agg.wt; wt != nil {
 			wt.p, wt.sh, wt.key, wt.gen = p, sh, key, agg.gen
-			wt.t.Reset(p.cfg.Window)
+			wt.t.Reset(p.window())
 		} else {
 			wt = &windowTimer{p: p, sh: sh, key: key, gen: agg.gen}
 			agg.wt = wt
 			//bomw:wallclock live batching flushes on real elapsed time — the Window SLO is a wall-clock bound on aggregation delay
-			wt.t = time.AfterFunc(p.cfg.Window, wt.fire)
+			wt.t = time.AfterFunc(p.window(), wt.fire)
 		}
 	}
 }
@@ -1518,6 +1614,26 @@ func (p *Pipeline) deliver(reqs []*pipeReq, size int, flushAt time.Duration, dec
 		off += r.size
 		if p.finish(r, &c) {
 			resolved++
+		}
+	}
+	if resolved > 0 {
+		// Fold the batch's worst request latency (oldest arrival →
+		// completion) into the straggler EWMA, α = 1/8. A plain
+		// load/store race between two workers loses at most one sample —
+		// fine for a smoothed signal — and keeps this off the hot path's
+		// lock budget.
+		worst := int64(res.Completed - reqs[0].at)
+		for _, r := range reqs {
+			if l := int64(res.Completed - r.at); l > worst {
+				worst = l
+			}
+		}
+		if worst > 0 {
+			if prev := p.latEWMA.Load(); prev == 0 {
+				p.latEWMA.Store(worst)
+			} else {
+				p.latEWMA.Store(prev + (worst-prev)/8)
+			}
 		}
 	}
 	return resolved

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDetachedFutureResolveExactlyOnce covers the cluster tier's
+// first-result-wins arbitration primitive: the first Resolve wins, every
+// later one is discarded, and the waiter observes exactly the winner.
+func TestDetachedFutureResolveExactlyOnce(t *testing.T) {
+	f := NewDetachedFuture()
+	if f.Resolved() {
+		t.Fatal("fresh detached future reports resolved")
+	}
+	if !f.Resolve(Completion{BatchSize: 1}) {
+		t.Fatal("first Resolve lost")
+	}
+	if f.Resolve(Completion{BatchSize: 2}) {
+		t.Fatal("second Resolve won")
+	}
+	if !f.Resolved() {
+		t.Fatal("resolved future reports unresolved")
+	}
+	c, err := f.Wait(context.Background())
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if c.BatchSize != 1 {
+		t.Fatalf("waiter observed the losing completion: %+v", c)
+	}
+}
+
+// TestDetachedFutureRacingResolvers hammers one detached future from
+// many goroutines: exactly one wins, and the winner's payload is what
+// the waiter sees. Run under -race this is the arbitration's memory
+// safety proof.
+func TestDetachedFutureRacingResolvers(t *testing.T) {
+	const racers = 16
+	f := NewDetachedFuture()
+	wins := make(chan int, racers)
+	var wg sync.WaitGroup
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			if f.Resolve(Completion{BatchSize: id + 1}) {
+				wins <- id + 1
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(wins)
+	var winners []int
+	for w := range wins {
+		winners = append(winners, w)
+	}
+	if len(winners) != 1 {
+		t.Fatalf("%d resolvers won, want exactly 1", len(winners))
+	}
+	c, err := f.waitRelease(context.Background())
+	if err != nil {
+		t.Fatalf("waitRelease: %v", err)
+	}
+	if c.BatchSize != winners[0] {
+		t.Fatalf("waiter saw %d, winner was %d", c.BatchSize, winners[0])
+	}
+	// waitRelease must NOT have pooled the detached future: its resolved
+	// flag stays set, which would corrupt a recycled pipeline future.
+	if !f.detached || !f.Resolved() {
+		t.Fatalf("detached future mutated by waitRelease: detached=%v resolved=%v", f.detached, f.Resolved())
+	}
+}
+
+// TestResolveOnPipelineFuturePanics pins the misuse guard: Resolve is
+// the cluster's arbitration path, not an alternate delivery channel for
+// pipeline-owned futures.
+func TestResolveOnPipelineFuturePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Resolve on a pooled pipeline future did not panic")
+		}
+	}()
+	f := getFuture()
+	f.Resolve(Completion{})
+}
+
+// TestSetWindowScaleClampsAndApplies checks the brownout controller's
+// batching-window lever: scale multiplies cfg.Window, clamps to [1, 8],
+// and restores exactly.
+func TestSetWindowScaleClampsAndApplies(t *testing.T) {
+	s := testScheduler(t)
+	p := NewPipeline(s, PipelineConfig{ProbeInterval: -1, Window: 2 * time.Millisecond})
+	defer p.Close()
+	if got := p.window(); got != 2*time.Millisecond {
+		t.Fatalf("initial window = %v, want 2ms", got)
+	}
+	p.SetWindowScale(3)
+	if got := p.window(); got != 6*time.Millisecond {
+		t.Fatalf("scaled window = %v, want 6ms", got)
+	}
+	p.SetWindowScale(0.25) // below the floor: clamps to 1×
+	if got := p.window(); got != 2*time.Millisecond {
+		t.Fatalf("restored window = %v, want 2ms", got)
+	}
+	p.SetWindowScale(100) // above the ceiling: clamps to 8×
+	if got := p.window(); got != 16*time.Millisecond {
+		t.Fatalf("clamped window = %v, want 16ms", got)
+	}
+}
+
+// TestAvgLatencyTracksDeliveries checks the straggler signal: zero
+// before any delivery, positive and bounded by the observed worst
+// completion latency after traffic.
+func TestAvgLatencyTracksDeliveries(t *testing.T) {
+	s := testScheduler(t)
+	n := NewNode("node0", s, PipelineConfig{ProbeInterval: -1})
+	defer n.Close()
+	if got := n.AvgLatency(); got != 0 {
+		t.Fatalf("AvgLatency before traffic = %v, want 0", got)
+	}
+	if n.Capacity() <= 0 {
+		t.Fatalf("Capacity = %d, want positive", n.Capacity())
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	var worst time.Duration
+	for i := 0; i < 8; i++ {
+		c, err := n.Do(ctx, PipelineRequest{Model: "simple", Policy: LowestLatency, Batch: 4})
+		if err != nil || c.Err != nil {
+			t.Fatalf("Do %d: %v / %v", i, err, c.Err)
+		}
+		if c.Latency > worst {
+			worst = c.Latency
+		}
+	}
+	got := n.AvgLatency()
+	if got <= 0 {
+		t.Fatalf("AvgLatency after %v-worst traffic = %v, want positive", worst, got)
+	}
+	if got > 4*worst {
+		t.Fatalf("AvgLatency %v implausibly above worst observed %v", got, worst)
+	}
+}
+
+// TestNodeKillDuringDrainRace is the satellite-2 regression test: Kill
+// landing on an already-draining node must serialise with the drain —
+// both return, the killed label wins, no future is lost, and under
+// -race the lifecycle transition is clean.
+func TestNodeKillDuringDrainRace(t *testing.T) {
+	for round := 0; round < 10; round++ {
+		s := testScheduler(t)
+		n := NewNode("node0", s, PipelineConfig{ProbeInterval: -1, Window: 100 * time.Microsecond})
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+
+		// Keep traffic in flight so the drain has a tail to resolve.
+		var futs []*Future
+		for i := 0; i < 16; i++ {
+			fut, err := n.Submit(ctx, PipelineRequest{Model: "mnist-small", Policy: BestThroughput, Batch: 2})
+			if err != nil {
+				break
+			}
+			futs = append(futs, fut)
+		}
+
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); <-start; n.Drain() }()
+		go func() { defer wg.Done(); <-start; n.Kill() }()
+		close(start)
+		wg.Wait()
+
+		// Whichever interleaving won, the node is terminal and refuses work.
+		if st := n.State(); st != NodeKilled && st != NodeDrained {
+			t.Fatalf("round %d: state after drain/kill race = %v", round, st)
+		}
+		if _, err := n.Submit(context.Background(), PipelineRequest{Model: "simple", Batch: 1}); !errors.Is(err, ErrNodeDown) {
+			t.Fatalf("round %d: Submit after race = %v, want ErrNodeDown", round, err)
+		}
+		// Every accepted future still resolves (exactly-once survives the race).
+		for i, fut := range futs {
+			if _, err := fut.Wait(ctx); err != nil {
+				t.Fatalf("round %d: future %d abandoned: %v", round, i, err)
+			}
+		}
+		cancel()
+	}
+}

@@ -1,0 +1,39 @@
+// Package cluster mirrors the real routing tier's chaos/resilience
+// wall-clock shapes: the default serving clock anchors on time.Now and
+// the reactive hedge timer arms time.AfterFunc — both justified with
+// directives — while unannotated timer reads must be flagged.
+package cluster
+
+import "time"
+
+type injector struct {
+	clock func() time.Duration
+}
+
+// defaultClock is the justified exception: the fleet's default virtual
+// clock IS wall time anchored at creation.
+func defaultClock() func() time.Duration {
+	//bomw:wallclock fixture: the default serving clock is wall time since creation
+	start := time.Now()
+	//bomw:wallclock fixture: see above — wall-since-creation mapping
+	return func() time.Duration { return time.Since(start) }
+}
+
+// armHedge mirrors the reactive node-hedge timer: firing at half the
+// deadline slack is a wall-clock action on the serving path.
+func armHedge(fire func()) *time.Timer {
+	//bomw:wallclock fixture: reactive hedge timer fires on real slack in serving mode
+	return time.AfterFunc(time.Millisecond, fire)
+}
+
+// badHedge forgets the directive — chaos code gets no free pass.
+func badHedge(fire func()) *time.Timer {
+	return time.AfterFunc(time.Millisecond, fire) // want "wall-clock time.AfterFunc in virtual-clock package"
+}
+
+// windowPoll reads the wall clock to evaluate a crash window without
+// justification.
+func (i *injector) windowPoll() bool {
+	deadline := time.Now() // want "wall-clock time.Now in virtual-clock package"
+	return deadline.IsZero()
+}

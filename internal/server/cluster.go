@@ -16,6 +16,9 @@ func nodeJSON(n cluster.NodeSnapshot) map[string]interface{} {
 		"name":                n.Name,
 		"state":               n.State,
 		"evicted":             n.Evicted,
+		"suspect":             n.Suspect,
+		"chaos_down":          n.ChaosDown,
+		"avg_latency_us":      n.AvgLatency.Microseconds(),
 		"routed":              n.Routed,
 		"rerouted":            n.Rerouted,
 		"submitted":           n.Submitted,
@@ -34,11 +37,18 @@ func nodeJSON(n cluster.NodeSnapshot) map[string]interface{} {
 	}
 }
 
-// handleCluster exposes fleet-wide statistics: routing activity,
-// membership churn, aggregated serving counters and the per-node rows.
+// handleCluster exposes fleet-wide statistics — routing activity,
+// membership churn, aggregated serving counters, the per-node rows, and
+// the resilience tier (hedging/migration counters, scripted chaos state,
+// brownout controller) — and accepts operator control POSTs.
 func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET required")
+	switch r.Method {
+	case http.MethodGet:
+	case http.MethodPost:
+		s.handleClusterControl(w, r)
+		return
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "GET or POST required")
 		return
 	}
 	st := s.fleet.Stats()
@@ -46,7 +56,12 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 	for _, n := range st.PerNode {
 		perNode = append(perNode, nodeJSON(n))
 	}
-	writeJSON(w, map[string]interface{}{
+	suspects := s.fleet.Suspects()
+	if suspects == nil {
+		suspects = []string{}
+	}
+	bro := s.fleet.Brownout()
+	out := map[string]interface{}{
 		"policy":         st.Policy,
 		"nodes":          st.Nodes,
 		"ready":          st.Ready,
@@ -64,8 +79,67 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		"batches":        st.Batches,
 		"in_flight":      st.InFlight,
 		"slo_attainment": st.SLOAttainment,
-		"per_node":       perNode,
-	})
+		"resilience": map[string]interface{}{
+			"node_hedges":       st.NodeHedges,
+			"node_hedges_won":   st.NodeHedgesWon,
+			"hedges_suppressed": st.HedgesSuppressed,
+			"migrations":        st.Migrations,
+			"suspicions":        st.Suspicions,
+			"probations":        st.Probations,
+			"false_suspects":    st.FalseSuspects,
+			"probes":            st.Probes,
+			"benign_cancels":    st.BenignCancels,
+			"suspects":          suspects,
+		},
+		"brownout": map[string]interface{}{
+			"enabled":        bro.Enabled,
+			"level":          bro.Level,
+			"occupancy_ewma": bro.OccupancyEWMA,
+			"sheds":          bro.Sheds,
+			"transitions":    bro.Transitions,
+			"window_scale":   bro.WindowScale,
+			"thresholds":     bro.Thresholds,
+			"hysteresis":     bro.Hysteresis,
+		},
+		"per_node": perNode,
+	}
+	chaos := map[string]interface{}{
+		"enabled":    false,
+		"trips":      st.ChaosTrips,
+		"recoveries": st.ChaosRecoveries,
+	}
+	if ci := s.fleet.Chaos(); ci != nil {
+		chaos["enabled"] = true
+		chaos["plans"] = ci.Plans()
+	}
+	out["chaos"] = chaos
+	writeJSON(w, out)
+}
+
+// ClusterAction is the POST /v1/cluster payload: one fleet-wide control
+// action.
+type ClusterAction struct {
+	Action string `json:"action"` // sweep
+}
+
+// handleClusterControl applies fleet-wide operator actions. "sweep" runs
+// a health sweep immediately — membership reconciliation, chaos-window
+// edges and straggler detection without waiting for the submission-
+// driven cadence, the operator's lever after changing node state.
+func (s *Server) handleClusterControl(w http.ResponseWriter, r *http.Request) {
+	var req ClusterAction
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding cluster action: %v", err)
+		return
+	}
+	switch req.Action {
+	case "sweep":
+		s.fleet.Sweep()
+	default:
+		httpError(w, http.StatusBadRequest, "unknown action %q (want sweep)", req.Action)
+		return
+	}
+	writeJSON(w, map[string]string{"action": req.Action, "status": "ok"})
 }
 
 // NodeAction is the POST /v1/nodes payload: one lifecycle action on one

@@ -1,0 +1,114 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"bomw/internal/cluster"
+	"bomw/internal/core"
+	"bomw/internal/models"
+)
+
+// TestClusterEndpointResilienceBlocks: /v1/cluster carries the
+// resilience, chaos and brownout blocks, and the control POST runs a
+// health sweep.
+func TestClusterEndpointResilienceBlocks(t *testing.T) {
+	ts := fleetServer(t)
+	resp, err := http.Get(ts.URL + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		Resilience struct {
+			NodeHedges    int64    `json:"node_hedges"`
+			Migrations    int64    `json:"migrations"`
+			FalseSuspects int64    `json:"false_suspects"`
+			Suspects      []string `json:"suspects"`
+		} `json:"resilience"`
+		Chaos struct {
+			Enabled bool  `json:"enabled"`
+			Trips   int64 `json:"trips"`
+		} `json:"chaos"`
+		Brownout struct {
+			Enabled     bool       `json:"enabled"`
+			Level       int        `json:"level"`
+			Thresholds  [3]float64 `json:"thresholds"`
+			WindowScale float64    `json:"window_scale"`
+		} `json:"brownout"`
+		PerNode []struct {
+			Suspect      bool  `json:"suspect"`
+			ChaosDown    bool  `json:"chaos_down"`
+			AvgLatencyUS int64 `json:"avg_latency_us"`
+		} `json:"per_node"`
+	}
+	decode(t, resp, &st)
+	if st.Resilience.Suspects == nil {
+		t.Fatal("resilience.suspects missing (want [] when empty)")
+	}
+	if st.Chaos.Enabled {
+		t.Fatal("chaos reported enabled with no injector armed")
+	}
+	if st.Brownout.Enabled || st.Brownout.Level != 0 {
+		t.Fatalf("brownout block = %+v, want disabled at level 0", st.Brownout)
+	}
+	if st.Brownout.WindowScale != 1 {
+		t.Fatalf("brownout window_scale = %v, want 1 outside level 3", st.Brownout.WindowScale)
+	}
+	if len(st.PerNode) != 4 {
+		t.Fatalf("per_node rows = %d, want 4", len(st.PerNode))
+	}
+
+	sweep := post(t, ts.URL+"/v1/cluster", map[string]string{"action": "sweep"})
+	if sweep.StatusCode != http.StatusOK {
+		t.Fatalf("sweep POST status = %d", sweep.StatusCode)
+	}
+	sweep.Body.Close()
+	bad := post(t, ts.URL+"/v1/cluster", map[string]string{"action": "explode"})
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown action status = %d, want 400", bad.StatusCode)
+	}
+	bad.Body.Close()
+}
+
+// TestMassEvictionMapsTo503WithRetryAfter is the server half of the
+// mass-eviction satellite: every node evicted → classify answers 503
+// with a Retry-After derived from the fleet's readmission hint.
+func TestMassEvictionMapsTo503WithRetryAfter(t *testing.T) {
+	sched, err := core.New(core.Config{
+		TrainModels: models.PaperModels(),
+		Batches:     []int{8, 512},
+		Reps:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.LoadModel(models.Simple(), 1); err != nil {
+		t.Fatal(err)
+	}
+	api, err := NewCluster(sched, 1, core.PipelineConfig{}, 2, cluster.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer api.Close()
+	ts := httptest.NewServer(api)
+	defer ts.Close()
+
+	for _, name := range api.Cluster().NodeNames() {
+		resp := post(t, ts.URL+"/v1/nodes", NodeAction{Node: name, Action: "evict"})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("evicting %s: status %d", name, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	resp := post(t, ts.URL+"/v1/classify", ClassifyRequest{
+		Model: "simple", Samples: [][]float32{{5.1, 3.5, 1.4, 0.2}},
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("classify on an evicted fleet = %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" {
+		t.Fatalf("Retry-After = %q, want a positive back-off hint", ra)
+	}
+}

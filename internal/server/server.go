@@ -14,7 +14,8 @@
 //	GET  /v1/devices    device names, kinds and probe state (node0)
 //	GET  /v1/stats      scheduler decision statistics (node0)
 //	GET  /v1/pipeline   serving-pipeline statistics (node0)
-//	GET  /v1/cluster    fleet-wide routing and serving statistics
+//	GET  /v1/cluster    fleet-wide routing, serving and resilience statistics
+//	POST /v1/cluster    {"action":"sweep"}  (run a health sweep now)
 //	GET  /v1/nodes      per-node state, load and health
 //	POST /v1/nodes      {"node","action":"drain|evict|readmit|kill"}
 //
@@ -285,9 +286,23 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		Deadline: deadline,
 	})
 	switch {
+	case errors.Is(err, cluster.ErrNoHealthyNodes):
+		// The mass-eviction wedge: every node is evicted, on probation or
+		// inside a chaos window. The back-off hint is the soonest
+		// readmission the fleet can predict — the next chaos-window
+		// recovery when chaos is scripted, else the sweep's readmission
+		// cadence floor.
+		w.Header().Set("Retry-After", retryAfter(s.fleet.ReadmissionHint()))
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case errors.Is(err, cluster.ErrBrownoutShed):
+		// Brownout level ≥ 2: the fleet is deliberately shedding SLO-less
+		// work to keep deadline traffic inside its SLOs.
+		w.Header().Set("Retry-After", retryAfter(s.fleet.QueueDelay()))
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
 	case errors.Is(err, core.ErrAdmissionFull), errors.Is(err, core.ErrPipelineClosed),
-		errors.Is(err, core.ErrNodeDraining), errors.Is(err, core.ErrNodeDown),
-		errors.Is(err, cluster.ErrNoReadyNodes):
+		errors.Is(err, core.ErrNodeDraining), errors.Is(err, core.ErrNodeDown):
 		// Load shedding / no capacity: every node the policy offered shed
 		// or is down. The back-off hint scales with the fleet's actual
 		// backlog instead of a fixed guess, so clients retry sooner on a
