@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: verify build test vet lint lint-json race bench bench-json bench-guard smoke-cluster smoke-scenario smoke-chaos soak soak-deadline soak-cluster soak-chaos fuzz
+.PHONY: verify build test vet lint lint-json lint-sarif race bench bench-json bench-guard smoke-cluster smoke-scenario smoke-chaos soak soak-deadline soak-cluster soak-chaos fuzz
 
 verify: vet lint build test race
 
@@ -18,13 +18,22 @@ vet:
 
 # Project-specific invariants go vet cannot see: virtual-clock
 # discipline, lock scope, guarded counters, sentinel errors, context
-# placement. See internal/lint and DESIGN.md "Static analysis".
+# placement, atomic-access consistency, pool lifecycle, goroutine
+# ownership, lock ordering. See internal/lint and DESIGN.md "Static
+# analysis".
 lint:
 	$(GO) run ./cmd/bomwvet ./...
 
 # Machine-readable findings for editors and CI annotations.
 lint-json:
 	$(GO) run ./cmd/bomwvet -json ./...
+
+# SARIF 2.1.0 log for GitHub code-scanning annotations. The log is
+# written even when findings exist (the `|| true` is NOT here: the
+# target preserves bomwvet's exit code so `make lint-sarif` can gate
+# too; CI redirects and uploads the file in a separate step).
+lint-sarif:
+	$(GO) run ./cmd/bomwvet -sarif ./... > bomwvet.sarif
 
 test:
 	$(GO) test ./...

@@ -1,8 +1,9 @@
 // Command bomwvet runs bomw's project-specific static-analysis suite —
 // the invariants `go vet` cannot see: virtual-clock discipline, lock
-// scope, guarded counters, sentinel-error hygiene, and context
-// placement. See internal/lint for the analyzers and the //bomw:
-// directive syntax.
+// scope, guarded counters, sentinel-error hygiene, context placement,
+// atomic-access consistency, sync.Pool lifecycle, goroutine ownership,
+// and lock ordering. See internal/lint for the analyzers and the
+// //bomw: directive syntax.
 //
 // Usage:
 //
@@ -10,11 +11,16 @@
 //
 //	bomwvet ./...            # whole module (the make lint invocation)
 //	bomwvet -json ./...      # machine-readable findings for editors/CI
+//	bomwvet -sarif ./...     # SARIF 2.1.0 for code-scanning upload
+//	bomwvet -why ./...       # also explain directive suppressions
 //	bomwvet -only wallclock ./internal/core/...
 //	bomwvet -skip lockscope ./...
 //	bomwvet -list            # describe the analyzers
 //
-// Exit status: 0 clean, 1 findings, 2 usage or load errors.
+// Exit status: 0 clean, 1 findings, 2 usage or load errors. -sarif
+// keeps the same exit contract as text output: the log is written
+// either way, and findings still exit 1 so `make lint` semantics are
+// unchanged when redirecting the log to a file.
 package main
 
 import (
@@ -30,11 +36,13 @@ import (
 
 func main() {
 	var (
-		jsonOut = flag.Bool("json", false, "emit findings as JSON")
-		only    = flag.String("only", "", "comma-separated analyzers to run (default: all)")
-		skip    = flag.String("skip", "", "comma-separated analyzers to disable")
-		tests   = flag.Bool("tests", false, "also analyze _test.go files")
-		list    = flag.Bool("list", false, "list analyzers and exit")
+		jsonOut  = flag.Bool("json", false, "emit findings as JSON")
+		sarifOut = flag.Bool("sarif", false, "emit findings as SARIF 2.1.0 (code-scanning upload format)")
+		why      = flag.Bool("why", false, "also print //bomw: directive suppressions (text mode only)")
+		only     = flag.String("only", "", "comma-separated analyzers to run (default: all)")
+		skip     = flag.String("skip", "", "comma-separated analyzers to disable")
+		tests    = flag.Bool("tests", false, "also analyze _test.go files")
+		list     = flag.Bool("list", false, "list analyzers and exit")
 	)
 	flag.Parse()
 
@@ -76,21 +84,35 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bomwvet:", err)
 		os.Exit(2)
 	}
-	findings, err := lint.Run(pkgs, analyzers, lint.RunOptions{IncludeTests: *tests})
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(os.Stderr, "bomwvet: -json and -sarif are mutually exclusive")
+		os.Exit(2)
+	}
+	res, err := lint.RunAll(pkgs, analyzers, lint.RunOptions{IncludeTests: *tests})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bomwvet:", err)
 		os.Exit(2)
 	}
+	findings := res.Findings
 
 	// Report paths relative to the module root: stable across machines,
-	// clickable in editors and CI logs.
+	// clickable in editors and CI logs, and what SARIF's SRCROOT base
+	// expects.
+	relPath := func(p string) string {
+		if rel, rerr := filepath.Rel(root, p); rerr == nil {
+			return filepath.ToSlash(rel)
+		}
+		return p
+	}
 	for i := range findings {
-		if rel, rerr := filepath.Rel(root, findings[i].File); rerr == nil {
-			findings[i].File = filepath.ToSlash(rel)
+		findings[i].File = relPath(findings[i].File)
+		for j := range findings[i].Related {
+			findings[i].Related[j].File = relPath(findings[i].Related[j].File)
 		}
 	}
 
-	if *jsonOut {
+	switch {
+	case *jsonOut:
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", " ")
 		if findings == nil {
@@ -100,9 +122,22 @@ func main() {
 			fmt.Fprintln(os.Stderr, "bomwvet:", err)
 			os.Exit(2)
 		}
-	} else {
+	case *sarifOut:
+		if err := lint.WriteSARIF(os.Stdout, analyzers, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "bomwvet:", err)
+			os.Exit(2)
+		}
+	default:
 		for _, f := range findings {
 			fmt.Println(f)
+		}
+		if *why {
+			for _, s := range res.Suppressions {
+				fmt.Printf("%s:%d:%d: [%s] suppressed by //bomw:%s at %s:%d (cleared at %s)\n",
+					relPath(s.Finding.File), s.Finding.Line, s.Finding.Col,
+					s.Finding.Analyzer, s.Finding.Analyzer,
+					relPath(s.DirFile), s.DirLine, s.ClearedAt)
+			}
 		}
 	}
 	if len(findings) > 0 {

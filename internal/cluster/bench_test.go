@@ -3,6 +3,7 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -29,10 +30,11 @@ func BenchmarkClusterServe(b *testing.B) {
 			defer c.Close()
 			ctx := context.Background()
 			work := make(chan struct{})
-			done := make(chan struct{})
+			var wg sync.WaitGroup
 			for i := 0; i < clients; i++ {
+				wg.Add(1)
 				go func() {
-					defer func() { done <- struct{}{} }()
+					defer wg.Done()
 					for range work {
 						comp, err := c.Do(ctx, core.PipelineRequest{Model: "mnist-small", Policy: core.BestThroughput, Batch: 8})
 						if err != nil {
@@ -52,9 +54,7 @@ func BenchmarkClusterServe(b *testing.B) {
 				work <- struct{}{}
 			}
 			close(work)
-			for i := 0; i < clients; i++ {
-				<-done
-			}
+			wg.Wait()
 			elapsed := time.Since(start)
 			b.StopTimer()
 			b.ReportMetric(float64(b.N)/elapsed.Seconds(), "req/s")

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 )
@@ -22,10 +23,11 @@ func BenchmarkPipelineServe(b *testing.B) {
 			defer p.Close()
 			ctx := context.Background()
 			work := make(chan struct{})
-			done := make(chan struct{})
+			var wg sync.WaitGroup
 			for c := 0; c < clients; c++ {
+				wg.Add(1)
 				go func() {
-					defer func() { done <- struct{}{} }()
+					defer wg.Done()
 					for range work {
 						comp, err := p.Do(ctx, PipelineRequest{Model: "mnist-small", Policy: BestThroughput, Batch: 8})
 						if err != nil {
@@ -45,9 +47,7 @@ func BenchmarkPipelineServe(b *testing.B) {
 				work <- struct{}{}
 			}
 			close(work)
-			for c := 0; c < clients; c++ {
-				<-done
-			}
+			wg.Wait()
 			elapsed := time.Since(start)
 			b.StopTimer()
 			b.ReportMetric(float64(b.N)/elapsed.Seconds(), "req/s")

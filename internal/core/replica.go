@@ -33,16 +33,28 @@ func (s *Scheduler) Replica(seed int64) (*Scheduler, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Snapshot the template's retrainable state under its lock: Retrain
+	// swaps cfg.TrainModels, the classifier map and the dataset on
+	// another goroutine, and the replica must see one consistent
+	// generation of all three.
+	s.mu.Lock()
 	cfg := s.cfg
+	classifiers := make(map[Policy]mlsched.Classifier, len(s.classifiers))
+	for pol, c := range s.classifiers {
+		classifiers[pol] = c
+	}
+	dataset := s.dataset
+	s.mu.Unlock()
 	cfg.Devices = devs
 	r := &Scheduler{
-		cfg:       cfg,
-		rt:        rt,
-		disp:      NewDispatcher(rt),
-		devices:   devs,
-		cvMetrics: map[Policy]mlsched.Metrics{},
-		health:    newHealthMonitor(),
-		stats:     Stats{PerDevice: map[string]int{}, PerPolicy: map[Policy]int{}},
+		cfg:         cfg,
+		rt:          rt,
+		disp:        NewDispatcher(rt),
+		devices:     devs,
+		classifiers: classifiers,
+		cvMetrics:   map[Policy]mlsched.Metrics{},
+		health:      newHealthMonitor(),
+		stats:       Stats{PerDevice: map[string]int{}, PerPolicy: map[Policy]int{}},
 	}
 	for _, d := range devs {
 		if d.Profile().HasBoost {
@@ -50,17 +62,11 @@ func (s *Scheduler) Replica(seed int64) (*Scheduler, error) {
 			break
 		}
 	}
-	s.mu.Lock()
-	r.classifiers = map[Policy]mlsched.Classifier{}
-	for pol, c := range s.classifiers {
-		r.classifiers[pol] = c
-	}
-	s.mu.Unlock()
 	// The replica gets its own (empty) decision cache: cached rankings
 	// embed fencing context read live anyway, but cache epochs are
 	// per-scheduler and must not be shared.
 	r.buildPolicySet()
-	r.dataset = s.dataset
+	r.dataset = dataset
 	for _, name := range s.disp.Models() {
 		spec, err := s.disp.Spec(name)
 		if err != nil {

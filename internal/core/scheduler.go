@@ -229,14 +229,27 @@ func (s *Scheduler) Runtime() *opencl.Runtime { return s.rt }
 func (s *Scheduler) Dispatcher() *Dispatcher { return s.disp }
 
 // Dataset returns the training corpus the scheduler was fitted on.
-func (s *Scheduler) Dataset() *characterize.LabeledSet { return s.dataset }
+// Retrain swaps the corpus concurrently, so the read takes the
+// scheduler lock.
+func (s *Scheduler) Dataset() *characterize.LabeledSet {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dataset
+}
 
 // CVMetrics returns per-policy cross-validation metrics (only populated
-// when Config.EvaluateCV was set).
+// when Config.EvaluateCV was set; written only at construction).
 func (s *Scheduler) CVMetrics() map[Policy]mlsched.Metrics { return s.cvMetrics }
 
-// Classifier returns the trained selector for a policy.
-func (s *Scheduler) Classifier(p Policy) mlsched.Classifier { return s.classifiers[p] }
+// Classifier returns the trained selector for a policy. Like the
+// internal classifierFor, the map read must hold the scheduler lock:
+// Retrain swaps the map entries concurrently, and an unlocked read
+// races the swap (a concurrent map read/write can hard-fault the
+// runtime, not just return a stale forest).
+func (s *Scheduler) Classifier(p Policy) mlsched.Classifier {
+	c, _ := s.classifierFor(p)
+	return c
+}
 
 // Devices lists device names in class order — the classifier's label
 // order, which is fixed at construction and therefore deterministic

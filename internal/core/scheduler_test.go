@@ -579,6 +579,70 @@ func TestRetrainFoldsInNewArchitectures(t *testing.T) {
 	}
 }
 
+// TestRetrainConcurrentWithAccessors is the regression test for a real
+// data race the concurrency-discipline lint wave surfaced by audit:
+// Retrain swaps s.classifiers, s.dataset and cfg.TrainModels under
+// s.mu, but the exported read-side accessors (Classifier, Dataset) and
+// Replica's template snapshot read them without the lock. A concurrent
+// map read/write on s.classifiers is not merely stale — the runtime can
+// hard-fault on it. Run under -race (make race / CI) this test fails
+// before the fix and passes after it.
+func TestRetrainConcurrentWithAccessors(t *testing.T) {
+	s, err := New(Config{
+		TrainModels: models.PaperModels(),
+		Batches:     []int{8, 512},
+		Reps:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if s.Classifier(BestThroughput) == nil {
+				t.Error("classifier vanished mid-retrain")
+				return
+			}
+			if s.Dataset() == nil {
+				t.Error("dataset vanished mid-retrain")
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := s.Replica(1); err != nil {
+				t.Errorf("Replica during retrain: %v", err)
+				return
+			}
+		}
+	}()
+	if err := s.Retrain(models.UnseenModels()[:1]); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	// The swap is atomic from the readers' side: post-retrain state is
+	// the new generation everywhere.
+	if s.Dataset().Len() == 0 {
+		t.Fatal("retrained dataset empty")
+	}
+}
+
 func TestMultipleDiscreteGPUs(t *testing.T) {
 	// Device-agnostic scaling: two dGPU instances are just two classes;
 	// the overload spill must balance across them.

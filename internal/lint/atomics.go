@@ -1,0 +1,280 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// atomics enforces the hot path's memory-discipline invariant: a field
+// the package ever touches through sync/atomic must be touched through
+// sync/atomic everywhere. The rules, accumulated package-wide (a plain
+// read in one file races an atomic write in another — intraprocedural
+// checking cannot see it):
+//
+//  1. mixed access — a struct field that is the address argument of a
+//     function-style atomic (atomic.AddInt64(&s.f, ...), LoadInt64,
+//     StoreUint32, CompareAndSwapInt64, ...) anywhere in the package
+//     must not be read or written plainly anywhere else. The owner's
+//     constructor (a function whose name starts with New/new, or the
+//     composite literal building the struct) is exempt: before the
+//     value escapes, no other goroutine can observe it.
+//  2. typed overwrite — a field of a typed atomic (atomic.Int64,
+//     atomic.Bool, ...) must not be assigned as a whole value outside
+//     the constructor: x.count = atomic.Int64{} resets the word with a
+//     plain store that races every concurrent Add.
+//  3. CAS under mutex — a CompareAndSwap retry loop must not run with a
+//     mutex held: the CAS already provides the atomicity, and spinning
+//     on it under a lock turns optimistic concurrency into a convoyed
+//     critical section (and invites livelock against the very writers
+//     the CAS is waiting out).
+var analyzerAtomics = &Analyzer{
+	Name: "atomics",
+	Doc: "a field accessed via sync/atomic anywhere must be accessed atomically\n" +
+		"everywhere (constructors exempt); typed atomic fields must not be\n" +
+		"overwritten wholesale; CAS retry loops must not hold a mutex",
+	Run: runAtomics,
+}
+
+// atomicOpPrefixes match the function-style sync/atomic entry points.
+var atomicOpPrefixes = []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"}
+
+func isAtomicOpName(name string) bool {
+	for _, p := range atomicOpPrefixes {
+		if rest, ok := strings.CutPrefix(name, p); ok {
+			switch rest {
+			case "Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Pointer":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func runAtomics(pass *Pass) error {
+	// ---- pass 1: package-scope facts ----------------------------------
+	// atomicFields: canonical "Type.field" keys that are the &-argument
+	// of a function-style atomic op anywhere in the package, mapped to
+	// one representative atomic-use position. atomicSels: the exact
+	// selector nodes inside those atomic calls (exempt from pass 2).
+	atomicFields := map[string]token.Pos{}
+	atomicSels := map[*ast.SelectorExpr]bool{}
+	for _, f := range pass.Files() {
+		atomicName, ok := importName(f.AST, "sync/atomic")
+		if !ok {
+			continue
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fun, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgID, ok := fun.X.(*ast.Ident)
+			if !ok || pkgID.Name != atomicName || !isAtomicOpName(fun.Sel.Name) || !identIsPackage(pass, pkgID) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := un.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				key := canonicalField(pass, sel)
+				if key == "" {
+					continue
+				}
+				atomicSels[sel] = true
+				if _, seen := atomicFields[key]; !seen {
+					atomicFields[key] = call.Pos()
+				}
+			}
+			return true
+		})
+	}
+
+	// ---- pass 2: flag plain accesses and typed overwrites -------------
+	for _, f := range pass.Files() {
+		for _, decl := range f.AST.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			ctor := isConstructorName(fn.Name.Name)
+			if len(atomicFields) > 0 && !ctor {
+				ast.Inspect(fn.Body, func(n ast.Node) bool {
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok || atomicSels[sel] {
+						return true
+					}
+					key := canonicalField(pass, sel)
+					if key == "" {
+						return true
+					}
+					if atomicPos, hit := atomicFields[key]; hit {
+						ap := pass.Pkg.Fset.Position(atomicPos)
+						pass.Reportf(sel.Pos(),
+							"plain access of %s, which is accessed atomically at %s:%d: mixed atomic/plain access races; use sync/atomic everywhere outside the constructor",
+							key, shortPath(ap.Filename), ap.Line)
+					}
+					return true
+				})
+			}
+			checkTypedAtomicOverwrite(pass, fn, ctor)
+			checkCASUnderMutex(pass, fn)
+		}
+	}
+	return nil
+}
+
+// isConstructorName treats New*/new* functions as construction scope:
+// the value has not escaped yet, so plain initialisation is safe.
+func isConstructorName(name string) bool {
+	return strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new")
+}
+
+// canonicalField renders a field selector as "Type.field" using type
+// info. Returns "" when the owner type cannot be resolved (a plain
+// local, an unresolved import) — the rule then stays silent rather
+// than guessing.
+func canonicalField(pass *Pass, sel *ast.SelectorExpr) string {
+	if pass.Pkg.Info == nil {
+		return ""
+	}
+	// Only struct-field selections count; method values and package
+	// qualifiers are not field accesses.
+	if s, ok := pass.Pkg.Info.Selections[sel]; !ok || s.Kind() != types.FieldVal {
+		return ""
+	}
+	if tn := namedTypeName(pass, sel.X); tn != "" {
+		return tn + "." + sel.Sel.Name
+	}
+	return ""
+}
+
+// shortPath trims a path to its last two elements for readable messages.
+func shortPath(p string) string {
+	parts := strings.Split(p, "/")
+	if len(parts) <= 2 {
+		return p
+	}
+	return strings.Join(parts[len(parts)-2:], "/")
+}
+
+// checkTypedAtomicOverwrite flags whole-value stores to typed atomic
+// fields (x.count = atomic.Int64{}, x.done = other.done) outside
+// constructors — the assignment is a plain memory write that races
+// every concurrent atomic op on the word.
+func checkTypedAtomicOverwrite(pass *Pass, fn *ast.FuncDecl, ctor bool) {
+	if ctor || pass.Pkg.Info == nil {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			sel, ok := lhs.(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			if s, ok := pass.Pkg.Info.Selections[sel]; !ok || s.Kind() != types.FieldVal {
+				continue
+			}
+			if tn, pkg := namedTypeAndPkg(pass, sel); pkg == "sync/atomic" {
+				pass.Reportf(sel.Pos(),
+					"whole-value store to atomic.%s field %s: a plain overwrite races concurrent atomic ops; use Store, or confine resets to the constructor",
+					tn, sel.Sel.Name)
+			}
+		}
+		return true
+	})
+}
+
+// namedTypeAndPkg resolves an expression's named type and its package
+// path ("" when unresolved), looking through pointers.
+func namedTypeAndPkg(pass *Pass, e ast.Expr) (name, pkgPath string) {
+	tv, ok := pass.Pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return "", ""
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name(), ""
+	}
+	return obj.Name(), obj.Pkg().Path()
+}
+
+// checkCASUnderMutex reports CompareAndSwap calls that execute inside a
+// loop while the function holds a mutex — the CAS retry is then a
+// spinning critical section.
+func checkCASUnderMutex(pass *Pass, fn *ast.FuncDecl) {
+	// Collect the position ranges of loop bodies.
+	type posRange struct{ from, to token.Pos }
+	var loops []posRange
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ForStmt:
+			loops = append(loops, posRange{s.Body.Pos(), s.Body.End()})
+		case *ast.RangeStmt:
+			loops = append(loops, posRange{s.Body.Pos(), s.Body.End()})
+		case *ast.FuncLit:
+			return false // its own lock scope; closures analyzed separately is out of CAS rule's scope
+		}
+		return true
+	})
+	inLoop := func(pos token.Pos) bool {
+		for _, r := range loops {
+			if r.from <= pos && pos < r.to {
+				return true
+			}
+		}
+		return false
+	}
+	lockWalk(fn.Body, func(stmt ast.Stmt, held []heldLock) {
+		if len(held) == 0 {
+			return
+		}
+		switch stmt.(type) {
+		case *ast.DeferStmt, *ast.GoStmt:
+			return // runs later / concurrently, not under these locks
+		}
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case ast.Stmt:
+				if x != stmt {
+					return false // nested statements get their own visit
+				}
+			case *ast.CallExpr:
+				sel, ok := x.Fun.(*ast.SelectorExpr)
+				if !ok || !strings.HasPrefix(sel.Sel.Name, "CompareAndSwap") {
+					return true
+				}
+				if inLoop(x.Pos()) {
+					pass.Reportf(x.Pos(),
+						"CompareAndSwap retried in a loop while mutex %s is held: the CAS already serialises this update — holding the lock across the retry convoys every waiter behind a spin",
+						held[len(held)-1].key)
+				}
+			}
+			return true
+		})
+	})
+}

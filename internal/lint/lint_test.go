@@ -113,6 +113,49 @@ func TestLockscope(t *testing.T) { runFixture(t, "lockscope", "lockscope") }
 func TestCounters(t *testing.T)  { runFixture(t, "counters", "counters") }
 func TestSenterr(t *testing.T)   { runFixture(t, "senterr", "senterr") }
 func TestCtxparam(t *testing.T)  { runFixture(t, "ctxparam", "ctxparam") }
+func TestAtomics(t *testing.T)   { runFixture(t, "atomics", "atomics") }
+func TestPoollife(t *testing.T)  { runFixture(t, "poollife", "poollife") }
+func TestGoleak(t *testing.T)    { runFixture(t, "goleak", "goleak") }
+func TestLockorder(t *testing.T) { runFixture(t, "lockorder", "lockorder") }
+
+// TestLockorderEdgeDirective pins the multi-position directive
+// contract: the justified fixture carries its //bomw:lockorder at the
+// SECOND edge of the cycle (b.go), not at the primary position, and the
+// suppression log must say exactly which edge cleared it.
+func TestLockorderEdgeDirective(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "src", "lockorder", "justified"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := lint.Load(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	azs, err := lint.ByName([]string{"lockorder"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := lint.RunAll(pkgs, azs, lint.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range res.Findings {
+		t.Errorf("justified cycle still reported: %s", f)
+	}
+	if len(res.Suppressions) != 1 {
+		t.Fatalf("suppressions = %d, want 1 (%+v)", len(res.Suppressions), res.Suppressions)
+	}
+	sup := res.Suppressions[0]
+	if !strings.HasPrefix(sup.ClearedAt, "edge 2 of 2") {
+		t.Errorf("ClearedAt = %q, want an edge position, not the primary", sup.ClearedAt)
+	}
+	if !strings.HasSuffix(sup.DirFile, "b.go") {
+		t.Errorf("directive file = %q, want the b.go edge", sup.DirFile)
+	}
+	if len(sup.Finding.Related) != 1 || sup.Finding.Related[0].Note == "" {
+		t.Errorf("suppressed finding should carry one annotated related edge, got %+v", sup.Finding.Related)
+	}
+}
 
 // TestRepoIsClean runs the full analyzer suite over the real module —
 // the same invocation as `make lint` — and demands zero findings. Any
@@ -161,7 +204,7 @@ func TestAllAnalyzersDocumented(t *testing.T) {
 		}
 		seen[a.Name] = true
 	}
-	if len(seen) < 5 {
-		t.Fatalf("expected at least 5 analyzers, have %d", len(seen))
+	if len(seen) < 9 {
+		t.Fatalf("expected at least 9 analyzers, have %d", len(seen))
 	}
 }

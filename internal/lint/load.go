@@ -214,10 +214,16 @@ func loadDir(fset *token.FileSet, imp types.Importer, root, dir string) (*Packag
 }
 
 // stubImporter satisfies imports without compiled export data: it first
-// tries the gc importer (stdlib packages usually resolve), then falls
-// back to an empty stub package so checking can continue. The stub makes
-// every cross-package reference an error the checker swallows — fine for
-// our analyzers, which only need intra-package types.
+// tries the gc importer (stdlib packages usually resolve), then a
+// hand-built synthetic package for the concurrency stdlib (sync,
+// sync/atomic — see stdtypes.go), then falls back to an empty stub
+// package so checking can continue. The empty stub makes every
+// cross-package reference an error the checker swallows — fine for our
+// analyzers, which only need intra-package types — but the synthetic
+// tier matters: on runners without stdlib export data an empty stub for
+// sync/atomic would silently strip atomic.Int64 fields (and every
+// struct containing one) out of the type info the atomics, goleak and
+// lockorder analyzers key on.
 type stubImporter struct {
 	gc    types.Importer
 	stubs map[string]*types.Package
@@ -236,11 +242,14 @@ func (im *stubImporter) Import(path string) (*types.Package, error) {
 	if p := im.stubs[path]; p != nil {
 		return p, nil
 	}
-	name := path
-	if i := strings.LastIndex(name, "/"); i >= 0 {
-		name = name[i+1:]
+	p := syntheticPkg(path)
+	if p == nil {
+		name := path
+		if i := strings.LastIndex(name, "/"); i >= 0 {
+			name = name[i+1:]
+		}
+		p = types.NewPackage(path, name)
 	}
-	p := types.NewPackage(path, name)
 	im.stubs[path] = p
 	return p, nil
 }

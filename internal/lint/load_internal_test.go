@@ -1,0 +1,193 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// checkWithoutGC type-checks src through a stubImporter with the gc
+// importer disabled — the degraded environment (no stdlib export data)
+// the synthetic packages exist for.
+func checkWithoutGC(t *testing.T, src string) (*token.FileSet, *ast.File, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	imp := &stubImporter{gc: nil, stubs: map[string]*types.Package{}}
+	conf := types.Config{Importer: imp, Error: func(error) {}}
+	conf.Check("x", fset, []*ast.File{f}, info)
+	return fset, f, info
+}
+
+// TestSyntheticAtomicResolvesTypedValues pins the loader fix: without
+// gc export data, a struct holding atomic.Int64/Bool values must still
+// type-check so the analyzers see real field types — previously the
+// empty sync/atomic stub silently degraded the whole struct to invalid.
+func TestSyntheticAtomicResolvesTypedValues(t *testing.T) {
+	const src = `package x
+
+import "sync/atomic"
+
+type counters struct {
+	hits atomic.Int64
+	ok   atomic.Bool
+}
+
+func (c *counters) bump() int64 {
+	c.ok.Store(true)
+	return c.hits.Add(1)
+}
+`
+	_, f, info := checkWithoutGC(t, src)
+
+	var checked int
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		inner, ok := sel.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		// c.hits.Add / c.ok.Store: the inner selector must resolve to
+		// the named atomic type from the synthetic package.
+		tv, ok := info.Types[ast.Expr(inner)]
+		if !ok || tv.Type == nil {
+			t.Errorf("no type recorded for %s.%s", inner.Sel.Name, sel.Sel.Name)
+			return true
+		}
+		named, ok := tv.Type.(*types.Named)
+		if !ok {
+			t.Errorf("%s resolved to %v, want a named atomic type", inner.Sel.Name, tv.Type)
+			return true
+		}
+		if got := named.Obj().Pkg().Path(); got != "sync/atomic" {
+			t.Errorf("%s resolved into package %q, want sync/atomic", inner.Sel.Name, got)
+		}
+		checked++
+		return true
+	})
+	if checked < 2 {
+		t.Fatalf("resolved %d atomic field selections, want 2 (c.ok.Store, c.hits.Add)", checked)
+	}
+
+	// The method calls themselves must resolve (Add returns int64).
+	var addOK bool
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Add" {
+			return true
+		}
+		tv, ok := info.Types[ast.Expr(call)]
+		if ok && tv.Type != nil && tv.Type.String() == "int64" {
+			addOK = true
+		}
+		return true
+	})
+	if !addOK {
+		t.Error("atomic.Int64.Add call did not resolve to int64 through the synthetic package")
+	}
+}
+
+// TestSyntheticAtomicFunctionForms covers the classic word-based API:
+// atomic.AddInt64(&x, 1) must type-check against the synthetic package.
+func TestSyntheticAtomicFunctionForms(t *testing.T) {
+	const src = `package x
+
+import "sync/atomic"
+
+type s struct{ n int64 }
+
+func (v *s) bump() int64 { return atomic.AddInt64(&v.n, 1) }
+func (v *s) read() int64 { return atomic.LoadInt64(&v.n) }
+`
+	_, f, info := checkWithoutGC(t, src)
+	resolved := 0
+	ast.Inspect(f, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || (id.Name != "AddInt64" && id.Name != "LoadInt64") {
+			return true
+		}
+		if obj, ok := info.Uses[id]; ok && obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" {
+			resolved++
+		}
+		return true
+	})
+	if resolved != 2 {
+		t.Fatalf("resolved %d function-style atomic uses, want 2", resolved)
+	}
+}
+
+// TestSyntheticSyncResolvesMutexAndWaitGroup: sync.Mutex/WaitGroup
+// fields must resolve so lockorder's canonical lock keys and goleak's
+// WaitGroup evidence survive without gc export data.
+func TestSyntheticSyncResolvesMutexAndWaitGroup(t *testing.T) {
+	const src = `package x
+
+import "sync"
+
+type owner struct {
+	mu sync.Mutex
+	wg sync.WaitGroup
+}
+
+func (o *owner) run() {
+	o.mu.Lock()
+	o.mu.Unlock()
+	o.wg.Add(1)
+	o.wg.Wait()
+}
+`
+	_, f, info := checkWithoutGC(t, src)
+	want := map[string]string{"mu": "Mutex", "wg": "WaitGroup"}
+	got := map[string]string{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if tv, ok := info.Types[ast.Expr(sel)]; ok && tv.Type != nil {
+			if named, ok := tv.Type.(*types.Named); ok && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "sync" {
+				got[sel.Sel.Name] = named.Obj().Name()
+			}
+		}
+		return true
+	})
+	for field, typ := range want {
+		if got[field] != typ {
+			t.Errorf("field %s resolved to %q, want sync.%s", field, got[field], typ)
+		}
+	}
+}
+
+// TestSyntheticImporterIsFallbackOnly: the gc importer, when present
+// and successful, wins — synthetic packages only fill the gap.
+func TestSyntheticImporterIsFallbackOnly(t *testing.T) {
+	im := newStubImporter()
+	if im.gc == nil {
+		t.Skip("no gc importer in this environment")
+	}
+	p, err := im.Import("sync/atomic")
+	if err != nil || p == nil {
+		t.Fatalf("Import(sync/atomic) = %v, %v", p, err)
+	}
+	if gcp, gcErr := im.gc.Import("sync/atomic"); gcErr == nil && gcp != nil && p != gcp {
+		t.Error("stub importer did not prefer the gc importer's sync/atomic")
+	}
+}

@@ -1,0 +1,417 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// lockorder builds the package-level mutex acquisition graph and flags
+// cycles — the fleet-tier deadlock lockscope's intraprocedural walk
+// cannot see: the cluster sweep holding the cluster lock while calling
+// into a node that takes the node lock, while a node callback takes the
+// node lock and calls back into the cluster lock. Two functions, each
+// individually clean, jointly deadlocked.
+//
+// The analysis reuses lockscope's linear walk per function to learn,
+// at every program point, which mutexes are held. Lock identities are
+// canonicalised to "Type.field" via the best-effort type info (falling
+// back to the method receiver's declared type), so `c.mu` inside one
+// Cluster method and `cl.mu` inside another are the same vertex. It
+// then accumulates package-scope facts:
+//
+//   - a direct edge A → B whenever B is acquired while A is held;
+//   - a summary of every lock a function may acquire, propagated
+//     through same-package calls to a fixpoint, so an edge also forms
+//     when a function holding A *calls* a function that acquires B.
+//
+// A cycle in the resulting graph is reported once, at the first edge,
+// with every other edge attached as a related position — a //bomw:
+// lockorder directive at ANY edge of the cycle justifies it (the
+// matcher reports which edge cleared it). Closures are analyzed as
+// their own functions: a `go func(){...}` body runs under its own lock
+// state, and its acquisitions do not count as the spawner's.
+var analyzerLockorder = &Analyzer{
+	Name: "lockorder",
+	Doc: "the package-level mutex acquisition graph (direct and through\n" +
+		"same-package calls) must be cycle-free; a //bomw:lockorder directive at\n" +
+		"any edge of a reported cycle justifies it",
+	Run: runLockorder,
+}
+
+// lockEdge is one "acquires to while holding from" event.
+type lockEdge struct {
+	from, to string
+	pos      token.Pos
+	fn       string // function the acquisition happens in
+	via      string // non-empty when the edge goes through a call to via
+}
+
+// fnLockFacts is the per-function summary pass 1 accumulates.
+type fnLockFacts struct {
+	name     string
+	acquires map[string]token.Pos // locks taken directly (canonical key → first pos)
+	edges    []lockEdge           // direct nested acquisitions
+	calls    []lockCallSite       // same-package calls with the held set at the site
+}
+
+type lockCallSite struct {
+	callee string
+	held   []string
+	pos    token.Pos
+}
+
+func runLockorder(pass *Pass) error {
+	// ---- pass 1: per-function facts -----------------------------------
+	var fns []*fnLockFacts
+	declared := map[string]bool{}
+	for _, f := range pass.Files() {
+		for _, decl := range f.AST.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			key := funcKey(fn)
+			declared[key] = true
+			fns = append(fns, collectLockFacts(pass, fn, key))
+			// Closures: their own lock state, their own facts — but any
+			// lock they take is NOT attributed to the enclosing function
+			// (they may run on another goroutine, later). They still
+			// contribute direct nested edges of their own.
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					fns = append(fns, collectLockFactsBody(pass, lit.Body, key+".func", fn))
+					return false
+				}
+				return true
+			})
+		}
+	}
+
+	// ---- pass 2: fixpoint of "locks a call may acquire" ---------------
+	byName := map[string]*fnLockFacts{}
+	for _, fn := range fns {
+		// Closure facts are keyed with a ".func" suffix and are never
+		// call targets; only declared functions join the call graph.
+		if declared[fn.name] {
+			byName[fn.name] = fn
+		}
+	}
+	mayAcquire := map[string]map[string]token.Pos{}
+	for name, fn := range byName {
+		acq := map[string]token.Pos{}
+		for k, p := range fn.acquires {
+			acq[k] = p
+		}
+		mayAcquire[name] = acq
+	}
+	for changed := true; changed; {
+		changed = false
+		for name, fn := range byName {
+			acq := mayAcquire[name]
+			for _, cs := range fn.calls {
+				for k, p := range mayAcquire[cs.callee] {
+					if _, ok := acq[k]; !ok {
+						acq[k] = p
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// ---- pass 3: assemble the graph -----------------------------------
+	// adjacency: from → to → first edge observed.
+	adj := map[string]map[string]lockEdge{}
+	addEdge := func(e lockEdge) {
+		if e.from == e.to {
+			return // re-acquire; lockscope reports it
+		}
+		m, ok := adj[e.from]
+		if !ok {
+			m = map[string]lockEdge{}
+			adj[e.from] = m
+		}
+		if _, ok := m[e.to]; !ok {
+			m[e.to] = e
+		}
+	}
+	for _, fn := range fns {
+		for _, e := range fn.edges {
+			addEdge(e)
+		}
+		for _, cs := range fn.calls {
+			for to := range mayAcquire[cs.callee] {
+				for _, from := range cs.held {
+					addEdge(lockEdge{from: from, to: to, pos: cs.pos, fn: fn.name, via: cs.callee})
+				}
+			}
+		}
+	}
+
+	// ---- pass 4: find and report cycles -------------------------------
+	for _, cycle := range findLockCycles(adj) {
+		positions := make([]token.Pos, 0, len(cycle))
+		notes := make([]string, 0, len(cycle))
+		var desc []string
+		for _, e := range cycle {
+			positions = append(positions, e.pos)
+			notes = append(notes, edgeNote(e))
+			desc = append(desc, fmt.Sprintf("%s → %s (%s)", e.from, e.to, edgeNote(e)))
+		}
+		pass.ReportRelated(positions, notes,
+			"lock-order cycle: %s — concurrent paths taking these locks in different orders deadlock; restructure one edge, or justify with //bomw:lockorder at any edge",
+			strings.Join(desc, ", "))
+	}
+	return nil
+}
+
+func edgeNote(e lockEdge) string {
+	if e.via != "" {
+		return fmt.Sprintf("in %s via call to %s", e.fn, e.via)
+	}
+	return fmt.Sprintf("in %s", e.fn)
+}
+
+func funcKey(fn *ast.FuncDecl) string {
+	if _, typ := receiverOf(fn); typ != "" {
+		return typ + "." + fn.Name.Name
+	}
+	return fn.Name.Name
+}
+
+func collectLockFacts(pass *Pass, fn *ast.FuncDecl, key string) *fnLockFacts {
+	return collectLockFactsBody(pass, fn.Body, key, fn)
+}
+
+// collectLockFactsBody runs the lockscope walk over one body and
+// records canonical acquisitions, nested-acquisition edges, and
+// same-package call sites under held locks.
+func collectLockFactsBody(pass *Pass, body *ast.BlockStmt, key string, encl *ast.FuncDecl) *fnLockFacts {
+	facts := &fnLockFacts{name: key, acquires: map[string]token.Pos{}}
+	recvName, recvType := receiverOf(encl)
+	canon := func(rendered string, expr ast.Expr) string {
+		return canonicalLockKey(pass, rendered, expr, recvName, recvType)
+	}
+	lockWalk(body, func(stmt ast.Stmt, held []heldLock) {
+		// Canonicalise the held set once per statement.
+		var heldCanon []string
+		for _, h := range held {
+			if ck := canon(h.key, nil); ck != "" {
+				heldCanon = append(heldCanon, ck)
+			}
+		}
+		// Direct acquisitions in this statement (the walker applies them
+		// as effects; we mirror its ExprStmt handling for facts).
+		if es, ok := stmt.(*ast.ExprStmt); ok {
+			if call, ok := es.X.(*ast.CallExpr); ok {
+				if _, kind := lockCallKind(call); kind == "lock" {
+					sel := call.Fun.(*ast.SelectorExpr)
+					if ck := canon("", sel.X); ck != "" {
+						if _, seen := facts.acquires[ck]; !seen {
+							facts.acquires[ck] = call.Pos()
+						}
+						for _, from := range heldCanon {
+							facts.edges = append(facts.edges, lockEdge{from: from, to: ck, pos: call.Pos(), fn: key})
+						}
+					}
+				}
+			}
+		}
+		// Same-package calls in this statement's own expressions.
+		switch stmt.(type) {
+		case *ast.DeferStmt, *ast.GoStmt:
+			return // runs later or concurrently, not under these locks
+		}
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case ast.Stmt:
+				if x != stmt {
+					return false
+				}
+			case *ast.CallExpr:
+				if callee := packageCallee(pass, x, recvName, recvType); callee != "" {
+					facts.calls = append(facts.calls, lockCallSite{
+						callee: callee,
+						held:   append([]string(nil), heldCanon...),
+						pos:    x.Pos(),
+					})
+				}
+			}
+			return true
+		})
+	})
+	return facts
+}
+
+// canonicalLockKey renders a mutex owner as "Type.field". Accepts
+// either the rendered lockscope key ("s.mu") or the owner expression
+// itself. Resolution order: type info on the base expression; the
+// method receiver's declared type when the base is the receiver
+// identifier; package-level mutex variables keep their name. Returns ""
+// for locals and unresolvable owners — those cannot participate in a
+// cross-function cycle we can prove, so no edge forms.
+func canonicalLockKey(pass *Pass, rendered string, expr ast.Expr, recvName, recvType string) string {
+	if expr != nil {
+		if sel, ok := expr.(*ast.SelectorExpr); ok {
+			if tn := namedTypeName(pass, sel.X); tn != "" {
+				return tn + "." + sel.Sel.Name
+			}
+			// Fall through to the rendered-name path below.
+			rendered = exprRender(sel)
+		} else if id, ok := expr.(*ast.Ident); ok {
+			rendered = id.Name
+		} else {
+			rendered = exprRender(expr)
+		}
+	}
+	if rendered == "" {
+		return ""
+	}
+	parts := strings.Split(rendered, ".")
+	if len(parts) == 2 && parts[0] == recvName && recvType != "" {
+		return recvType + "." + parts[1]
+	}
+	if len(parts) == 1 {
+		// A bare identifier: package-level mutex var, or a local. Only
+		// package-level ones are shared across functions.
+		if isPackageLevelVar(pass, parts[0]) {
+			return "pkg." + parts[0]
+		}
+		return ""
+	}
+	return ""
+}
+
+func exprRender(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		base := exprRender(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	}
+	return ""
+}
+
+// isPackageLevelVar reports whether name is declared at package scope.
+func isPackageLevelVar(pass *Pass, name string) bool {
+	if pass.Pkg.Types == nil {
+		return false
+	}
+	obj := pass.Pkg.Types.Scope().Lookup(name)
+	return obj != nil
+}
+
+// packageCallee resolves a call expression to a same-package function
+// key ("fn" or "Type.method"), or "" when the target is not a declared
+// same-package function.
+func packageCallee(pass *Pass, call *ast.CallExpr, recvName, recvType string) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if pass.Pkg.Types != nil {
+			if obj := pass.Pkg.Types.Scope().Lookup(fun.Name); obj != nil {
+				return fun.Name
+			}
+		}
+		return ""
+	case *ast.SelectorExpr:
+		// Skip mutex ops themselves.
+		switch fun.Sel.Name {
+		case "Lock", "Unlock", "RLock", "RUnlock":
+			return ""
+		}
+		if tn := namedTypeName(pass, fun.X); tn != "" {
+			// Only same-package named types form graph nodes; a type
+			// from another package resolves to a name we never declared,
+			// and the fixpoint simply finds no facts for it.
+			return tn + "." + fun.Sel.Name
+		}
+		if id, ok := fun.X.(*ast.Ident); ok && id.Name == recvName && recvType != "" {
+			return recvType + "." + fun.Sel.Name
+		}
+	}
+	return ""
+}
+
+// findLockCycles returns every distinct elementary cycle reachable in
+// the adjacency map, deterministically ordered, each reported once
+// (rotated so the lexically smallest vertex leads).
+func findLockCycles(adj map[string]map[string]lockEdge) [][]lockEdge {
+	var verts []string
+	for v := range adj {
+		verts = append(verts, v)
+	}
+	sort.Strings(verts)
+
+	seen := map[string]bool{}
+	var cycles [][]lockEdge
+
+	// Bounded DFS from each vertex; path-local visited set keeps it to
+	// elementary cycles. Lock graphs here are tiny (a handful of mutex
+	// classes), so the exponential worst case is theoretical.
+	var path []string
+	var dfs func(start, cur string)
+	dfs = func(start, cur string) {
+		var nexts []string
+		for n := range adj[cur] {
+			nexts = append(nexts, n)
+		}
+		sort.Strings(nexts)
+		for _, n := range nexts {
+			if n == start && len(path) > 0 {
+				// Close the cycle; canonical form starts at the smallest
+				// vertex, and we only emit when start IS the smallest so
+				// each rotation appears once.
+				smallest := true
+				for _, v := range path {
+					if v < start {
+						smallest = false
+						break
+					}
+				}
+				if !smallest {
+					continue
+				}
+				key := strings.Join(append(append([]string{}, path...), start), "→")
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				var cyc []lockEdge
+				full := append([]string{start}, path[1:]...)
+				full = append(full, start)
+				for i := 0; i+1 < len(full); i++ {
+					cyc = append(cyc, adj[full[i]][full[i+1]])
+				}
+				cycles = append(cycles, cyc)
+				continue
+			}
+			onPath := false
+			for _, v := range path {
+				if v == n {
+					onPath = true
+					break
+				}
+			}
+			if onPath || n < start {
+				continue
+			}
+			path = append(path, n)
+			dfs(start, n)
+			path = path[:len(path)-1]
+		}
+	}
+	for _, v := range verts {
+		path = []string{v}
+		dfs(v, v)
+	}
+	return cycles
+}

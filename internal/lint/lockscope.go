@@ -14,13 +14,14 @@ import (
 // park the goroutine while a lock is held can wedge admission, drain,
 // and every worker behind it.
 //
-// The analysis walks each function body linearly, tracking mutexes
-// locked directly in that function (x.Lock / x.RLock up to the matching
-// Unlock, or function end for defer x.Unlock). It is intraprocedural
-// and optimistic at branch merges: a branch that unlocks and falls
-// through clears the lock, and function literals are analyzed as their
-// own functions (a closure runs later, not under the caller's locks).
-// A select with a default case is non-blocking and allowed.
+// The analysis walks each function body linearly over the shared
+// flowWalk, tracking mutexes locked directly in that function (x.Lock /
+// x.RLock up to the matching Unlock, or function end for defer
+// x.Unlock). It is intraprocedural and optimistic at branch merges: a
+// branch that unlocks and falls through clears the lock, and function
+// literals are analyzed as their own functions (a closure runs later,
+// not under the caller's locks). A select with a default case is
+// non-blocking and allowed.
 var analyzerLockscope = &Analyzer{
 	Name: "lockscope",
 	Doc: "forbid blocking operations (channel send/receive, blocking select, Wait,\n" +
@@ -49,22 +50,6 @@ func runLockscope(pass *Pass) error {
 	return nil
 }
 
-// forEachFuncBody visits every function body in the file: declarations
-// and literals, each analyzed independently.
-func forEachFuncBody(f *ast.File, visit func(*ast.BlockStmt)) {
-	ast.Inspect(f, func(n ast.Node) bool {
-		switch fn := n.(type) {
-		case *ast.FuncDecl:
-			if fn.Body != nil {
-				visit(fn.Body)
-			}
-		case *ast.FuncLit:
-			visit(fn.Body)
-		}
-		return true
-	})
-}
-
 // lockCallKind classifies a call as a mutex operation on a receiver.
 func lockCallKind(call *ast.CallExpr) (key string, kind string) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
@@ -80,169 +65,75 @@ func lockCallKind(call *ast.CallExpr) (key string, kind string) {
 	return "", ""
 }
 
-// lockWalk runs visit over every statement of the body with the set of
-// mutexes held at that point (before the statement's own effect).
-func lockWalk(body *ast.BlockStmt, visit func(ast.Stmt, []heldLock)) {
-	walkStmts(body.List, &[]heldLock{}, visit)
+// lockState is the flowWalk fact for lock tracking: the set of mutexes
+// held at the current program point.
+type lockState struct {
+	held []heldLock
 }
 
-func cloneHeld(held *[]heldLock) *[]heldLock {
-	cp := append([]heldLock(nil), *held...)
-	return &cp
+func (s *lockState) clone() *lockState {
+	return &lockState{held: append([]heldLock(nil), s.held...)}
 }
 
-func addHeld(held *[]heldLock, h heldLock) {
-	*held = append(*held, h)
+func (s *lockState) set(other *lockState) {
+	s.held = append(s.held[:0:0], other.held...)
 }
 
-func removeHeld(held *[]heldLock, key string) {
-	out := (*held)[:0]
-	for _, h := range *held {
-		if h.key != key {
-			out = append(out, h)
-		}
-	}
-	*held = out
-}
-
-// intersectHeld keeps only locks present in both states (optimistic
-// merge after a branch both arms of which may or may not have run).
-func intersectHeld(held *[]heldLock, other []heldLock) {
+// meet keeps only locks present in both states (optimistic merge after
+// a branch both arms of which may or may not have run).
+func (s *lockState) meet(other *lockState) {
 	keys := map[string]bool{}
-	for _, h := range other {
+	for _, h := range other.held {
 		keys[h.key] = true
 	}
-	out := (*held)[:0]
-	for _, h := range *held {
+	out := s.held[:0]
+	for _, h := range s.held {
 		if keys[h.key] {
 			out = append(out, h)
 		}
 	}
-	*held = out
+	s.held = out
 }
 
-// terminates reports whether the statement list ends in a statement
-// that does not fall through (return, branch, panic).
-func terminates(list []ast.Stmt) bool {
-	if len(list) == 0 {
-		return false
-	}
-	switch last := list[len(list)-1].(type) {
-	case *ast.ReturnStmt, *ast.BranchStmt:
-		return true
+// lockEffect applies a statement's lock transition: a direct Lock/RLock
+// call acquires, Unlock/RUnlock releases, and defer Unlock marks the
+// lock held to function end.
+func lockEffect(stmt ast.Stmt, s *lockState) {
+	switch st := stmt.(type) {
 	case *ast.ExprStmt:
-		if call, ok := last.X.(*ast.CallExpr); ok {
-			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
-				return true
-			}
-		}
-	}
-	return false
-}
-
-func walkStmts(list []ast.Stmt, held *[]heldLock, visit func(ast.Stmt, []heldLock)) {
-	for _, stmt := range list {
-		walkStmt(stmt, held, visit)
-	}
-}
-
-func walkStmt(stmt ast.Stmt, held *[]heldLock, visit func(ast.Stmt, []heldLock)) {
-	visit(stmt, *held)
-	switch s := stmt.(type) {
-	case *ast.ExprStmt:
-		if call, ok := s.X.(*ast.CallExpr); ok {
+		if call, ok := st.X.(*ast.CallExpr); ok {
 			if key, kind := lockCallKind(call); key != "" {
 				switch kind {
 				case "lock":
-					addHeld(held, heldLock{key: key, pos: call.Pos()})
+					s.held = append(s.held, heldLock{key: key, pos: call.Pos()})
 				case "unlock":
-					removeHeld(held, key)
+					out := s.held[:0]
+					for _, h := range s.held {
+						if h.key != key {
+							out = append(out, h)
+						}
+					}
+					s.held = out
 				}
 			}
 		}
 	case *ast.DeferStmt:
-		if key, kind := lockCallKind(s.Call); kind == "unlock" {
-			for i := range *held {
-				if (*held)[i].key == key {
-					(*held)[i].deferred = true
+		if key, kind := lockCallKind(st.Call); kind == "unlock" {
+			for i := range s.held {
+				if s.held[i].key == key {
+					s.held[i].deferred = true
 				}
 			}
 		}
-	case *ast.BlockStmt:
-		walkStmts(s.List, held, visit)
-	case *ast.LabeledStmt:
-		walkStmt(s.Stmt, held, visit)
-	case *ast.IfStmt:
-		if s.Init != nil {
-			walkStmt(s.Init, held, visit)
-		}
-		bodyState := cloneHeld(held)
-		walkStmts(s.Body.List, bodyState, visit)
-		if s.Else != nil {
-			elseState := cloneHeld(held)
-			walkStmt(s.Else, elseState, visit)
-			switch {
-			case terminates(s.Body.List):
-				*held = *elseState
-			case elseTerminates(s.Else):
-				*held = *bodyState
-			default:
-				*held = *bodyState
-				intersectHeld(held, *elseState)
-			}
-			return
-		}
-		if !terminates(s.Body.List) {
-			intersectHeld(held, *bodyState)
-		}
-	case *ast.ForStmt:
-		if s.Init != nil {
-			walkStmt(s.Init, held, visit)
-		}
-		bodyState := cloneHeld(held)
-		walkStmts(s.Body.List, bodyState, visit)
-		intersectHeld(held, *bodyState)
-	case *ast.RangeStmt:
-		bodyState := cloneHeld(held)
-		walkStmts(s.Body.List, bodyState, visit)
-		intersectHeld(held, *bodyState)
-	case *ast.SwitchStmt:
-		walkCaseBodies(s.Body, held, visit)
-	case *ast.TypeSwitchStmt:
-		walkCaseBodies(s.Body, held, visit)
-	case *ast.SelectStmt:
-		for _, cl := range s.Body.List {
-			comm, ok := cl.(*ast.CommClause)
-			if !ok {
-				continue
-			}
-			caseState := cloneHeld(held)
-			walkStmts(comm.Body, caseState, visit)
-			intersectHeld(held, *caseState)
-		}
 	}
 }
 
-func elseTerminates(els ast.Stmt) bool {
-	switch e := els.(type) {
-	case *ast.BlockStmt:
-		return terminates(e.List)
-	case *ast.IfStmt:
-		return terminates(e.Body.List) && e.Else != nil && elseTerminates(e.Else)
-	}
-	return false
-}
-
-func walkCaseBodies(body *ast.BlockStmt, held *[]heldLock, visit func(ast.Stmt, []heldLock)) {
-	for _, cl := range body.List {
-		cc, ok := cl.(*ast.CaseClause)
-		if !ok {
-			continue
-		}
-		caseState := cloneHeld(held)
-		walkStmts(cc.Body, caseState, visit)
-		intersectHeld(held, *caseState)
-	}
+// lockWalk runs visit over every statement of the body with the set of
+// mutexes held at that point (before the statement's own effect).
+func lockWalk(body *ast.BlockStmt, visit func(ast.Stmt, []heldLock)) {
+	flowWalk(body, &lockState{},
+		func(stmt ast.Stmt, s *lockState) { visit(stmt, s.held) },
+		lockEffect)
 }
 
 // ---- blocking-operation checks ----------------------------------------

@@ -1,0 +1,204 @@
+package lint
+
+import (
+	"go/token"
+	"go/types"
+)
+
+// Synthetic stdlib packages for the best-effort type checker.
+//
+// The stub importer prefers real gc export data, but on toolchains or
+// runners without precompiled stdlib export files the gc importer fails
+// and every stdlib import used to degrade to an *empty* stub package.
+// That silently blinded type-driven analyzers on exactly the packages
+// the concurrency rules care about: a struct holding an atomic.Int64 or
+// a sync.Mutex would fail to type-check, so Info carried no types for
+// its fields and the atomics/goleak/lockorder analyzers saw nothing.
+//
+// syntheticPkg hand-builds the generic-free slices of sync and
+// sync/atomic that the analyzers need to resolve: the typed atomics
+// (atomic.Bool/Int32/Int64/Uint32/Uint64/Uintptr/Value) with their
+// method sets, the classic function-style atomics (AddInt64, LoadInt64,
+// CompareAndSwapInt64, ...), and sync.Mutex/RWMutex/WaitGroup/Once/
+// Pool/Map/Locker. atomic.Pointer[T] is deliberately absent — the
+// checker handles unresolved generics no worse than an empty stub, and
+// nothing in the analyzed invariants needs it.
+func syntheticPkg(path string) *types.Package {
+	switch path {
+	case "sync/atomic":
+		return buildSyntheticAtomic()
+	case "sync":
+		return buildSyntheticSync()
+	}
+	return nil
+}
+
+// pkgBuilder accumulates declarations into a synthetic package.
+type pkgBuilder struct {
+	pkg *types.Package
+}
+
+func newPkgBuilder(path, name string) *pkgBuilder {
+	return &pkgBuilder{pkg: types.NewPackage(path, name)}
+}
+
+func (b *pkgBuilder) finish() *types.Package {
+	b.pkg.MarkComplete()
+	return b.pkg
+}
+
+// namedStruct declares an empty named struct type in the package.
+func (b *pkgBuilder) namedStruct(name string) *types.Named {
+	tn := types.NewTypeName(token.NoPos, b.pkg, name, nil)
+	named := types.NewNamed(tn, types.NewStruct(nil, nil), nil)
+	b.pkg.Scope().Insert(tn)
+	return named
+}
+
+// method attaches a pointer-receiver method to a named type.
+func (b *pkgBuilder) method(named *types.Named, name string, params, results []*types.Var) {
+	recv := types.NewVar(token.NoPos, b.pkg, "x", types.NewPointer(named))
+	sig := types.NewSignatureType(recv, nil, nil,
+		types.NewTuple(params...), types.NewTuple(results...), false)
+	named.AddMethod(types.NewFunc(token.NoPos, b.pkg, name, sig))
+}
+
+// fn declares a package-level function.
+func (b *pkgBuilder) fn(name string, params, results []*types.Var) {
+	sig := types.NewSignatureType(nil, nil, nil,
+		types.NewTuple(params...), types.NewTuple(results...), false)
+	b.pkg.Scope().Insert(types.NewFunc(token.NoPos, b.pkg, name, sig))
+}
+
+func (b *pkgBuilder) v(name string, t types.Type) *types.Var {
+	return types.NewVar(token.NoPos, b.pkg, name, t)
+}
+
+func buildSyntheticAtomic() *types.Package {
+	b := newPkgBuilder("sync/atomic", "atomic")
+	anyT := types.NewInterfaceType(nil, nil)
+	anyT.Complete()
+
+	// Typed atomics: Bool, Int32, Int64, Uint32, Uint64, Uintptr with
+	// Load/Store/Swap/CompareAndSwap (+ Add, And, Or on the integers).
+	scalar := map[string]types.Type{
+		"Bool":    types.Typ[types.Bool],
+		"Int32":   types.Typ[types.Int32],
+		"Int64":   types.Typ[types.Int64],
+		"Uint32":  types.Typ[types.Uint32],
+		"Uint64":  types.Typ[types.Uint64],
+		"Uintptr": types.Typ[types.Uintptr],
+	}
+	for name, elem := range scalar {
+		named := b.namedStruct(name)
+		b.method(named, "Load", nil, []*types.Var{b.v("", elem)})
+		b.method(named, "Store", []*types.Var{b.v("val", elem)}, nil)
+		b.method(named, "Swap", []*types.Var{b.v("new", elem)}, []*types.Var{b.v("old", elem)})
+		b.method(named, "CompareAndSwap",
+			[]*types.Var{b.v("old", elem), b.v("new", elem)},
+			[]*types.Var{b.v("swapped", types.Typ[types.Bool])})
+		if name != "Bool" {
+			b.method(named, "Add", []*types.Var{b.v("delta", elem)}, []*types.Var{b.v("new", elem)})
+			b.method(named, "And", []*types.Var{b.v("mask", elem)}, []*types.Var{b.v("old", elem)})
+			b.method(named, "Or", []*types.Var{b.v("mask", elem)}, []*types.Var{b.v("old", elem)})
+		}
+	}
+	value := b.namedStruct("Value")
+	b.method(value, "Load", nil, []*types.Var{b.v("val", anyT)})
+	b.method(value, "Store", []*types.Var{b.v("val", anyT)}, nil)
+	b.method(value, "Swap", []*types.Var{b.v("new", anyT)}, []*types.Var{b.v("old", anyT)})
+	b.method(value, "CompareAndSwap",
+		[]*types.Var{b.v("old", anyT), b.v("new", anyT)},
+		[]*types.Var{b.v("swapped", types.Typ[types.Bool])})
+
+	// Function-style atomics over plain integer words.
+	words := map[string]types.Type{
+		"Int32":   types.Typ[types.Int32],
+		"Int64":   types.Typ[types.Int64],
+		"Uint32":  types.Typ[types.Uint32],
+		"Uint64":  types.Typ[types.Uint64],
+		"Uintptr": types.Typ[types.Uintptr],
+	}
+	for suffix, elem := range words {
+		ptr := types.NewPointer(elem)
+		b.fn("Add"+suffix,
+			[]*types.Var{b.v("addr", ptr), b.v("delta", elem)},
+			[]*types.Var{b.v("new", elem)})
+		b.fn("Load"+suffix,
+			[]*types.Var{b.v("addr", ptr)},
+			[]*types.Var{b.v("val", elem)})
+		b.fn("Store"+suffix,
+			[]*types.Var{b.v("addr", ptr), b.v("val", elem)}, nil)
+		b.fn("Swap"+suffix,
+			[]*types.Var{b.v("addr", ptr), b.v("new", elem)},
+			[]*types.Var{b.v("old", elem)})
+		b.fn("CompareAndSwap"+suffix,
+			[]*types.Var{b.v("addr", ptr), b.v("old", elem), b.v("new", elem)},
+			[]*types.Var{b.v("swapped", types.Typ[types.Bool])})
+	}
+	return b.finish()
+}
+
+func buildSyntheticSync() *types.Package {
+	b := newPkgBuilder("sync", "sync")
+	anyT := types.NewInterfaceType(nil, nil)
+	anyT.Complete()
+	boolT := types.Typ[types.Bool]
+
+	mutex := b.namedStruct("Mutex")
+	b.method(mutex, "Lock", nil, nil)
+	b.method(mutex, "Unlock", nil, nil)
+	b.method(mutex, "TryLock", nil, []*types.Var{b.v("", boolT)})
+
+	// Locker is the interface Mutex and RWMutex satisfy.
+	lockSig := types.NewSignatureType(nil, nil, nil, nil, nil, false)
+	locker := types.NewInterfaceType([]*types.Func{
+		types.NewFunc(token.NoPos, b.pkg, "Lock", lockSig),
+		types.NewFunc(token.NoPos, b.pkg, "Unlock", lockSig),
+	}, nil)
+	locker.Complete()
+	lockerTN := types.NewTypeName(token.NoPos, b.pkg, "Locker", nil)
+	types.NewNamed(lockerTN, locker, nil)
+	b.pkg.Scope().Insert(lockerTN)
+
+	rw := b.namedStruct("RWMutex")
+	b.method(rw, "Lock", nil, nil)
+	b.method(rw, "Unlock", nil, nil)
+	b.method(rw, "RLock", nil, nil)
+	b.method(rw, "RUnlock", nil, nil)
+	b.method(rw, "TryLock", nil, []*types.Var{b.v("", boolT)})
+	b.method(rw, "TryRLock", nil, []*types.Var{b.v("", boolT)})
+	b.method(rw, "RLocker", nil, []*types.Var{b.v("", lockerTN.Type())})
+
+	wg := b.namedStruct("WaitGroup")
+	b.method(wg, "Add", []*types.Var{b.v("delta", types.Typ[types.Int])}, nil)
+	b.method(wg, "Done", nil, nil)
+	b.method(wg, "Wait", nil, nil)
+
+	once := b.namedStruct("Once")
+	fnSig := types.NewSignatureType(nil, nil, nil, nil, nil, false)
+	b.method(once, "Do", []*types.Var{b.v("f", fnSig)}, nil)
+
+	pool := b.namedStruct("Pool")
+	// Pool.New is a struct field; rebuild Pool's underlying with it.
+	newField := types.NewField(token.NoPos, b.pkg, "New",
+		types.NewSignatureType(nil, nil, nil, nil, types.NewTuple(b.v("", anyT)), false), false)
+	pool.SetUnderlying(types.NewStruct([]*types.Var{newField}, []string{""}))
+	b.method(pool, "Get", nil, []*types.Var{b.v("", anyT)})
+	b.method(pool, "Put", []*types.Var{b.v("x", anyT)}, nil)
+
+	m := b.namedStruct("Map")
+	b.method(m, "Load", []*types.Var{b.v("key", anyT)},
+		[]*types.Var{b.v("value", anyT), b.v("ok", boolT)})
+	b.method(m, "Store", []*types.Var{b.v("key", anyT), b.v("value", anyT)}, nil)
+	b.method(m, "Delete", []*types.Var{b.v("key", anyT)}, nil)
+	b.method(m, "LoadOrStore", []*types.Var{b.v("key", anyT), b.v("value", anyT)},
+		[]*types.Var{b.v("actual", anyT), b.v("loaded", boolT)})
+
+	cond := b.namedStruct("Cond")
+	b.method(cond, "Wait", nil, nil)
+	b.method(cond, "Signal", nil, nil)
+	b.method(cond, "Broadcast", nil, nil)
+
+	return b.finish()
+}

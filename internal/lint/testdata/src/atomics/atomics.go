@@ -1,0 +1,89 @@
+// Fixture for the atomics analyzer: mixed atomic/plain access, typed
+// whole-value overwrites, and CAS loops under a mutex.
+package atomics
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	mu     sync.Mutex
+	hits   int64
+	misses int64
+	gen    atomic.Int64
+	live   atomic.Bool
+}
+
+// newCounter is construction scope: plain initialisation is exempt.
+func newCounter() *counter {
+	c := &counter{}
+	c.hits = 0
+	c.gen = atomic.Int64{}
+	return c
+}
+
+func (c *counter) bump() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counter) read() int64 {
+	return c.hits // want "plain access of counter.hits, which is accessed atomically"
+}
+
+func (c *counter) reset() {
+	c.hits = 0 // want "plain access of counter.hits, which is accessed atomically"
+}
+
+// misses is never touched atomically: plain access is fine.
+func (c *counter) miss() {
+	c.misses++
+}
+
+func (c *counter) snapshotHits() int64 {
+	//bomw:atomics read-only snapshot taken after the pipeline quiesces
+	return c.hits
+}
+
+func (c *counter) rollGen() {
+	c.gen = atomic.Int64{} // want "whole-value store to atomic.Int64 field gen"
+}
+
+func (c *counter) setLive(other *counter) {
+	c.live = other.live // want "whole-value store to atomic.Bool field live"
+}
+
+func (c *counter) storeGen(v int64) {
+	c.gen.Store(v) // typed atomic op: fine
+}
+
+// casConvoy spins a CAS retry while holding the mutex — the convoy the
+// rule exists to prevent.
+func (c *counter) casConvoy(v int64) {
+	c.mu.Lock()
+	for {
+		old := c.gen.Load()
+		if c.gen.CompareAndSwap(old, v) { // want "CompareAndSwap retried in a loop while mutex c.mu is held"
+			break
+		}
+	}
+	c.mu.Unlock()
+}
+
+// casFree is the idiomatic lock-free ladder: no mutex, no finding.
+func (c *counter) casFree(v int64) {
+	for {
+		old := c.gen.Load()
+		if c.gen.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+// casOnce holds the mutex but the CAS is not in a loop: a single
+// attempt under a lock is odd but not a convoy.
+func (c *counter) casOnce(v int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gen.CompareAndSwap(c.gen.Load(), v)
+}

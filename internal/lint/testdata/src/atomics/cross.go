@@ -1,0 +1,16 @@
+// Third file: plain accesses of gauge.pressure, whose atomic uses live
+// in other.go. No sync/atomic import here at all — the mixed-access
+// fact must cross the file boundary.
+package atomics
+
+type meter struct {
+	g gauge
+}
+
+func (m *meter) peek() uint32 {
+	return m.g.pressure // want "plain access of gauge.pressure, which is accessed atomically"
+}
+
+func drain(g *gauge) {
+	g.pressure = 0 // want "plain access of gauge.pressure, which is accessed atomically"
+}

@@ -1,0 +1,18 @@
+// Second file of the fixture: the atomic use of pressure lives in THIS
+// file, the plain access in atomics_cross.go — the facts are
+// package-scope, so the analyzer must connect them across files.
+package atomics
+
+import "sync/atomic"
+
+type gauge struct {
+	pressure uint32
+}
+
+func (g *gauge) inflate() {
+	atomic.AddUint32(&g.pressure, 1)
+}
+
+func (g *gauge) level() uint32 {
+	return atomic.LoadUint32(&g.pressure)
+}

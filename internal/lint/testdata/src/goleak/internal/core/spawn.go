@@ -1,0 +1,120 @@
+// Fixture for the goleak analyzer: every go statement in the serving
+// packages needs a visible termination path.
+package core
+
+import (
+	"context"
+	"sync"
+)
+
+type pump struct {
+	wg   sync.WaitGroup
+	quit chan struct{}
+	work chan int
+}
+
+// startOwned registers on the WaitGroup before spawning: owned.
+func (p *pump) startOwned() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		for range p.work {
+		}
+	}()
+}
+
+// startDeferredDone carries its ownership inside the body.
+func (p *pump) startDeferredDone() {
+	go func() {
+		defer p.wg.Done()
+		for range p.work {
+		}
+	}()
+}
+
+// startGuarded has a ctx.Done() select arm: shutdown reaches it.
+func (p *pump) startGuarded(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-p.work:
+				_ = v
+			}
+		}
+	}()
+}
+
+// startQuit receives from a lifecycle-named channel.
+func (p *pump) startQuit() {
+	go func() {
+		for {
+			select {
+			case <-p.quit:
+				return
+			case v := <-p.work:
+				_ = v
+			}
+		}
+	}()
+}
+
+// startLoop resolves to the loop method, which guards on quit.
+func (p *pump) startLoop() {
+	go p.loop()
+}
+
+func (p *pump) loop() {
+	for {
+		select {
+		case <-p.quit:
+			return
+		case v := <-p.work:
+			_ = v
+		}
+	}
+}
+
+// startBounded runs straight-line work and exits: bounded.
+func (p *pump) startBounded(ch chan int) {
+	go func() {
+		ch <- 42
+	}()
+}
+
+// startLeaky loops forever with no guard and no registration.
+func (p *pump) startLeaky() {
+	go func() { // want "goroutine has no visible termination path"
+		for {
+			p.work <- 1
+		}
+	}()
+}
+
+// startUnresolvable spawns a target the package cannot see.
+func (p *pump) startUnresolvable(f func()) {
+	go f() // want "goroutine target is not resolvable in this package"
+}
+
+// startDetached is an intentional fire-and-forget, justified.
+func (p *pump) startDetached() {
+	//bomw:goleak metrics flush is wedge-proof: the write has a deadline and the process exits with the node
+	go func() {
+		for {
+			p.work <- 0
+		}
+	}()
+}
+
+// startSpin resolves to spin, which has no guard: the leak is visible
+// through the method body.
+func (p *pump) startSpin() {
+	go p.spin() // want "goroutine has no visible termination path"
+}
+
+func (p *pump) spin() {
+	for {
+		p.work <- 2
+	}
+}

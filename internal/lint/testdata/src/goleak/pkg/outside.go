@@ -1,0 +1,11 @@
+// Outside the goleak scope (not internal/{core,cluster,opencl}): the
+// analyzer stays silent even for a detached spinner.
+package pkg
+
+func Detach(ch chan int) {
+	go func() {
+		for {
+			ch <- 1
+		}
+	}()
+}

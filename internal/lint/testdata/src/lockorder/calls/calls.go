@@ -1,0 +1,54 @@
+// Call-through half of the lockorder fixture: neither function nests
+// two Lock calls lexically — the cycle only exists through the
+// same-package call graph, which the fixpoint must propagate.
+package calls
+
+import "sync"
+
+type Hub struct {
+	mu    sync.Mutex
+	peers []*Peer
+}
+
+type Peer struct {
+	mu  sync.Mutex
+	hub *Hub
+}
+
+func (h *Hub) broadcast() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, p := range h.peers {
+		p.poke() // want "lock-order cycle"
+	}
+}
+
+func (p *Peer) poke() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+}
+
+func (p *Peer) escalate() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.hub.size()
+}
+
+func (h *Hub) size() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.peers)
+}
+
+// spawnSafe: a goroutine spawned under the lock runs later, on its own
+// stack — its acquisitions are not edges from the spawner's held set.
+func (h *Hub) spawnSafe(p *Peer) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	go p.standalone()
+}
+
+func (p *Peer) standalone() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+}

@@ -1,0 +1,30 @@
+package cyclic
+
+import "sync"
+
+// Registry and Entry always lock registry-then-entry: a consistent
+// order is acyclic, no finding.
+type Registry struct {
+	mu      sync.Mutex
+	entries []*Entry
+}
+
+type Entry struct {
+	mu sync.Mutex
+}
+
+func (r *Registry) refreshAll() {
+	r.mu.Lock()
+	for _, e := range r.entries {
+		e.mu.Lock()
+		e.mu.Unlock()
+	}
+	r.mu.Unlock()
+}
+
+func (r *Registry) refreshOne(e *Entry) {
+	r.mu.Lock()
+	e.mu.Lock()
+	e.mu.Unlock()
+	r.mu.Unlock()
+}

@@ -1,0 +1,10 @@
+package cyclic
+
+// report is the other half of the cycle: node lock first, then back
+// into the cluster lock. Individually clean; jointly deadlocked.
+func (n *Node) report() {
+	n.mu.Lock()
+	n.c.mu.Lock()
+	n.c.mu.Unlock()
+	n.mu.Unlock()
+}

@@ -1,0 +1,25 @@
+// Fixture for the lockorder analyzer: the classic fleet deadlock — the
+// sweep takes cluster-then-node, the callback takes node-then-cluster.
+// The two halves live in different files; the graph is package-scope.
+package cyclic
+
+import "sync"
+
+type Cluster struct {
+	mu    sync.Mutex
+	nodes []*Node
+}
+
+type Node struct {
+	mu sync.Mutex
+	c  *Cluster
+}
+
+func (c *Cluster) sweep() {
+	c.mu.Lock()
+	for _, n := range c.nodes {
+		n.mu.Lock() // want "lock-order cycle"
+		n.mu.Unlock()
+	}
+	c.mu.Unlock()
+}

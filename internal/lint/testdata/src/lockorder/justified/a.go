@@ -1,0 +1,26 @@
+// Directive half of the lockorder fixture: the same cycle as package
+// cyclic, but justified with a //bomw:lockorder directive placed at the
+// SECOND edge (in b.go) — not at the primary position. The matcher must
+// accept the directive at any edge of the cycle.
+package justified
+
+import "sync"
+
+type Cluster struct {
+	mu    sync.Mutex
+	nodes []*Node
+}
+
+type Node struct {
+	mu sync.Mutex
+	c  *Cluster
+}
+
+func (c *Cluster) sweep() {
+	c.mu.Lock()
+	for _, n := range c.nodes {
+		n.mu.Lock()
+		n.mu.Unlock()
+	}
+	c.mu.Unlock()
+}

@@ -1,0 +1,9 @@
+package justified
+
+func (n *Node) report() {
+	n.mu.Lock()
+	//bomw:lockorder report only runs from the prober, which pauses sweeps before calling it
+	n.c.mu.Lock()
+	n.c.mu.Unlock()
+	n.mu.Unlock()
+}
